@@ -1,0 +1,121 @@
+// Ablation bench for the design decisions called out in DESIGN.md §5:
+//   (1) wrap-around rule on/off — per-pair embedding cost;
+//   (2) MWM weight formula T - rm (paper) vs T - min(rm, s - rm);
+//   (3) min_pair_cost 0 (paper-bare) vs 1 (default) — evidence strength:
+//       verified fraction of the owner's ORIGINAL data and of unrelated
+//       data at t = 0 (lower is better for both);
+//   (4) min_modulus 2 (paper) vs 16 (hardened) — false-positive wall vs
+//       pair-count cost;
+//   (5) one-sided vs symmetric residue detection under a downward attack.
+
+#include "attacks/destroy.h"
+#include "bench_common.h"
+#include "core/detect.h"
+#include "core/eligible.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+namespace {
+
+struct Profile {
+  const char* name;
+  uint64_t min_modulus;
+  uint64_t min_pair_cost;
+  WeightFormula weight;
+};
+
+void RunProfile(const Histogram& original, const Histogram& unrelated,
+                const Profile& profile) {
+  GenerateOptions o =
+      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
+  o.min_modulus = profile.min_modulus;
+  o.min_pair_cost = profile.min_pair_cost;
+  o.weight_formula = profile.weight;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  if (!r.ok()) {
+    std::printf("%-24s generation failed: %s\n", profile.name,
+                r.status().ToString().c_str());
+    return;
+  }
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = 1;
+  double on_orig =
+      DetectWatermark(original, r.value().report.secrets, strict)
+          .verified_fraction;
+  double on_unrelated =
+      DetectWatermark(unrelated, r.value().report.secrets, strict)
+          .verified_fraction;
+  DetectOptions relaxed = strict;
+  relaxed.pair_threshold = 4;
+  double on_unrelated_t4 =
+      DetectWatermark(unrelated, r.value().report.secrets, relaxed)
+          .verified_fraction;
+  std::printf("%-24s %-8zu %-8llu %-12.3f %-12.3f %-12.3f %-10.4f\n",
+              profile.name, r.value().report.chosen_pairs,
+              static_cast<unsigned long long>(r.value().report.total_churn),
+              on_orig, on_unrelated, on_unrelated_t4,
+              r.value().report.similarity_percent);
+}
+
+}  // namespace
+
+int main() {
+  fb::PrintBanner("Ablations — wrap rule, weights, evidence filters",
+                  "DESIGN.md §5 (not in the paper; design-space study)");
+  Histogram original = fb::MakeSynthetic(0.5, 42);
+  Histogram unrelated = fb::MakeSynthetic(0.7, 314159);
+
+  std::printf("-- (1) wrap-around rule: per-pair cost distribution --\n");
+  uint64_t with_wrap = 0, without_wrap = 0;
+  const uint64_t s = 100;
+  for (uint64_t diff = 0; diff < 1000; ++diff) {
+    EligiblePair p = MakePairPlan(0, 1, diff, s);
+    with_wrap += p.cost;
+    without_wrap += diff % s;  // pre-wrap rule: always eliminate rm
+  }
+  std::printf("mean cost with wrap rule:    %.1f\n", with_wrap / 1000.0);
+  std::printf("mean cost without wrap rule: %.1f  (2x worse)\n\n",
+              without_wrap / 1000.0);
+
+  std::printf("-- (2)-(4) generation profiles --\n");
+  std::printf("%-24s %-8s %-8s %-12s %-12s %-12s %-10s\n", "profile",
+              "chosen", "churn", "orig@t0", "unrel@t0", "unrel@t4",
+              "sim%");
+  const Profile profiles[] = {
+      {"paper-bare", 2, 0, WeightFormula::kPaperRemainder},
+      {"default(cost>=1)", 2, 1, WeightFormula::kPaperRemainder},
+      {"effective-cost-weight", 2, 1, WeightFormula::kEffectiveCost},
+      {"hardened(s>=16)", 16, 1, WeightFormula::kPaperRemainder},
+      {"hardened(s>=32)", 32, 1, WeightFormula::kPaperRemainder},
+  };
+  for (const auto& p : profiles) RunProfile(original, unrelated, p);
+
+  std::printf("\n-- (5) one-sided vs symmetric residue detection --\n");
+  GenerateOptions o =
+      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 43);
+  o.min_modulus = 8;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  if (r.ok()) {
+    // Downward drift: every watermarked token loses a tiny fraction.
+    Histogram drifted = r.value().watermarked;
+    for (const auto& pair : r.value().report.secrets.pairs) {
+      (void)drifted.AddDelta(pair.token_i, -1);
+    }
+    for (uint64_t t : {1ull, 2ull}) {
+      DetectOptions one;
+      one.pair_threshold = t;
+      one.min_pairs = 1;
+      DetectOptions sym = one;
+      sym.symmetric_residue = true;
+      std::printf("t=%llu one-sided %.3f vs symmetric %.3f\n",
+                  static_cast<unsigned long long>(t),
+                  DetectWatermark(drifted, r.value().report.secrets, one)
+                      .verified_fraction,
+                  DetectWatermark(drifted, r.value().report.secrets, sym)
+                      .verified_fraction);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef FREQYWM_BENCH_BENCH_COMMON_H_
+#define FREQYWM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm::bench {
+
+/// Paper-scale synthetic histogram (§IV-A): 1K tokens, 1M samples.
+inline Histogram MakeSynthetic(double alpha, uint64_t seed,
+                               size_t tokens = 1000,
+                               size_t samples = 1'000'000) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = alpha;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+/// Standard generation options used across the experiment harnesses.
+inline GenerateOptions MakeOptions(double budget, uint64_t z,
+                                   SelectionStrategy strategy,
+                                   uint64_t seed) {
+  GenerateOptions o;
+  o.budget_percent = budget;
+  o.modulus_bound = z;
+  o.strategy = strategy;
+  o.seed = seed;
+  return o;
+}
+
+inline const char* StrategyName(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kOptimal:
+      return "optimal";
+    case SelectionStrategy::kGreedy:
+      return "greedy";
+    case SelectionStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+/// Number of chosen pairs averaged over `reps` seeds; 0 pairs when the
+/// generator reports the (legitimate) inapplicable case.
+inline double MeanChosenPairs(const Histogram& hist, GenerateOptions options,
+                              int reps) {
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    options.seed = options.seed * 31 + static_cast<uint64_t>(r) + 1;
+    auto result = WatermarkGenerator(options).GenerateFromHistogram(hist);
+    if (result.ok()) {
+      total += static_cast<double>(result.value().report.chosen_pairs);
+    }
+  }
+  return total / reps;
+}
+
+inline void PrintBanner(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace freqywm::bench
+
+#endif  // FREQYWM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Reproduces §V-C2: the destroy attack WITH re-ordering. Frequencies move
+// by up to ±p% of their own value for p in {10,30,50,60,80,90}; detection
+// uses t = 4.
+//
+// Paper reference: success rates {94, 88, 82, 79, 78, 76}% — even 90%
+// noise leaves three quarters of the pairs verifiable, while the data's
+// own utility (similarity, ranking) is destroyed long before the
+// watermark is.
+
+#include "attacks/destroy.h"
+#include "core/detect.h"
+#include "bench_common.h"
+#include "stats/rank.h"
+#include "stats/similarity.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+int main() {
+  fb::PrintBanner("§V-C2 — destroy attack with re-ordering (t = 4)",
+                  "ICDE'24 FreqyWM §V-C2");
+  Histogram original = fb::MakeSynthetic(0.5, 42);
+  const int kReps = 10;
+
+  for (uint64_t min_modulus : {2ull, 6ull, 16ull}) {
+    GenerateOptions o =
+        fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
+    o.min_modulus = min_modulus;
+    auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+    if (!r.ok()) continue;
+    const Histogram& wm = r.value().watermarked;
+    const auto& secrets = r.value().report.secrets;
+
+    std::printf("\n-- min_modulus = %llu (%zu pairs) --\n",
+                static_cast<unsigned long long>(min_modulus),
+                r.value().report.chosen_pairs);
+    std::printf("%-8s %-12s %-14s %-14s\n", "noise%", "verified",
+                "similarity%", "ranks-changed");
+    for (double pct : {10.0, 30.0, 50.0, 60.0, 80.0, 90.0}) {
+      double verified = 0, similarity = 0, rank_changed = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Rng rng(static_cast<uint64_t>(pct) * 100 + rep);
+        Histogram attacked = DestroyAttackWithReordering(wm, pct, rng);
+        DetectOptions d;
+        d.pair_threshold = 4;
+        d.min_pairs = 1;
+        verified += DetectWatermark(attacked, secrets, d).verified_fraction;
+        similarity += HistogramSimilarityPercent(wm, attacked);
+        rank_changed +=
+            static_cast<double>(CompareRankings(wm, attacked).changed);
+      }
+      std::printf("%-8.0f %-12.3f %-14.2f %-14.0f\n", pct, verified / kReps,
+                  similarity / kReps, rank_changed / kReps);
+    }
+  }
+  std::printf("\npaper reference: success rates 94/88/82/79/78/76%% for "
+              "10/30/50/60/80/90%% noise; note how utility (similarity, "
+              "ranking) is wrecked long before the watermark dies\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Fig. 5: percentage of verified pairs vs detection threshold t
+// for (1) the untouched watermarked dataset D_w, (2) a non-watermarked
+// dataset D_non with alpha = 0.7 over the same token space, (3) D_w after
+// the random-within-boundaries destroy attack, (4) D_w after the ±1%
+// destroy attack.
+//
+// Expected shapes: D_w pinned at 100%; the 1% attack near ~90% already at
+// t = 0; the full-boundary attack rising from ~35% at t = 0 toward ~90% by
+// t = 10; D_non rising with t (the false-positive wall) — usable (t, k)
+// settings live between the attack curves and the D_non curve.
+
+#include "attacks/destroy.h"
+#include "core/detect.h"
+#include "bench_common.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+namespace {
+
+void RunPanel(const Histogram& original, const Histogram& non_watermarked,
+              uint64_t min_modulus) {
+  GenerateOptions o =
+      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
+  o.min_modulus = min_modulus;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  if (!r.ok()) {
+    std::printf("generation failed: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  const Histogram& wm = r.value().watermarked;
+  const auto& secrets = r.value().report.secrets;
+  std::printf("min_modulus = %llu, watermarked pairs: %zu (paper: 139)\n",
+              static_cast<unsigned long long>(min_modulus),
+              r.value().report.chosen_pairs);
+
+  const int kAttackReps = 10;
+  std::printf("%-6s %-10s %-10s %-14s %-14s\n", "t", "Dw", "Dnon",
+              "Dw-rand-attack", "Dw-1pct-attack");
+  for (uint64_t t : {0ull, 1ull, 2ull, 4ull, 6ull, 8ull, 10ull}) {
+    DetectOptions d;
+    d.pair_threshold = t;
+    d.min_pairs = 1;
+    double clean = DetectWatermark(wm, secrets, d).verified_fraction;
+    double non = DetectWatermark(non_watermarked, secrets, d)
+                     .verified_fraction;
+    double rand_attack = 0, pct_attack = 0;
+    for (int rep = 0; rep < kAttackReps; ++rep) {
+      Rng rng_a(100 + static_cast<uint64_t>(rep));
+      Rng rng_b(200 + static_cast<uint64_t>(rep));
+      rand_attack += DetectWatermark(
+                         DestroyAttackWithinBoundaries(wm, rng_a), secrets, d)
+                         .verified_fraction;
+      pct_attack +=
+          DetectWatermark(DestroyAttackPercentOfBoundary(wm, 1.0, rng_b),
+                          secrets, d)
+              .verified_fraction;
+    }
+    std::printf("%-6llu %-10.3f %-10.3f %-14.3f %-14.3f\n",
+                static_cast<unsigned long long>(t), clean, non,
+                rand_attack / kAttackReps, pct_attack / kAttackReps);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  fb::PrintBanner("Fig. 5 — destroy attacks without re-ordering",
+                  "ICDE'24 FreqyWM Figure 5 (alpha=0.5, z=131, b=2)");
+  Histogram original = fb::MakeSynthetic(0.5, 42);
+  Histogram non_watermarked = fb::MakeSynthetic(0.7, 314159);
+
+  std::printf("-- paper profile (s >= 2): cheap pairs dominate, Dnon high --\n");
+  RunPanel(original, non_watermarked, 2);
+  std::printf("-- hardened profile (s >= 16): Dnon collapses, the (t, k) "
+              "corridor between Dnon and the attack curves opens up --\n");
+  RunPanel(original, non_watermarked, 16);
+
+  std::printf("paper reference: 1%%-attack ~90%% at t=0; random attack "
+              "~35%% at t=0 rising to ~90%% at t=10; Dnon below the attack "
+              "curves\n");
+  return 0;
+}

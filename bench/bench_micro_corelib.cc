@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the core library primitives and
+// the Gen/Detect costs behind Table II's timing columns: SHA-256, pair
+// modulus derivation, eligible-pair construction, the three selection
+// strategies, end-to-end generation, and detection.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detect.h"
+#include "core/eligible.h"
+#include "core/select.h"
+#include "core/watermark.h"
+#include "crypto/pair_modulus.h"
+#include "crypto/sha256.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(size_t tokens, size_t samples, double alpha,
+                   uint64_t seed) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = alpha;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+void BM_Sha256_64B(benchmark::State& state) {
+  std::string data(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  std::string data(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_PairModulus(benchmark::State& state) {
+  WatermarkSecret secret = GenerateSecret(256, 1);
+  PairModulus pm(secret, 1031);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pm.Compute("token" + std::to_string(i++ % 100), "other"));
+  }
+}
+BENCHMARK(BM_PairModulus);
+
+void BM_BuildEligiblePairs(benchmark::State& state) {
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  Histogram hist = MakeHist(tokens, tokens * 1000, 0.7, 2);
+  WatermarkSecret secret = GenerateSecret(256, 3);
+  PairModulus pm(secret, 131);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildEligiblePairs(hist, pm, EligibilityRule::kPaper));
+  }
+  state.SetComplexityN(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_BuildEligiblePairs)->Arg(100)->Arg(300)->Arg(1000)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Selection(benchmark::State& state, SelectionStrategy strategy) {
+  Histogram hist = MakeHist(500, 500000, 0.7, 4);
+  WatermarkSecret secret = GenerateSecret(256, 5);
+  PairModulus pm(secret, 131);
+  auto eligible = BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2, 1);
+  GenerateOptions o;
+  o.strategy = strategy;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectPairs(hist, eligible, o, rng));
+  }
+}
+BENCHMARK_CAPTURE(BM_Selection, optimal, SelectionStrategy::kOptimal);
+BENCHMARK_CAPTURE(BM_Selection, greedy, SelectionStrategy::kGreedy);
+BENCHMARK_CAPTURE(BM_Selection, random, SelectionStrategy::kRandom);
+
+void BM_WmGenerate(benchmark::State& state) {
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  Histogram hist = MakeHist(tokens, tokens * 1000, 0.7, 7);
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = 8;
+  WatermarkGenerator gen(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.GenerateFromHistogram(hist));
+  }
+}
+BENCHMARK(BM_WmGenerate)->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WmDetect(benchmark::State& state) {
+  Histogram hist = MakeHist(1000, 1'000'000, 0.7, 9);
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = 10;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(hist);
+  if (!r.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DetectWatermark(r.value().watermarked, r.value().report.secrets, d));
+  }
+}
+BENCHMARK(BM_WmDetect);
+
+void BM_HistogramFromDataset(benchmark::State& state) {
+  Rng rng(11);
+  PowerLawSpec spec;
+  spec.num_tokens = 1000;
+  spec.sample_size = static_cast<size_t>(state.range(0));
+  spec.alpha = 0.7;
+  Dataset data = GeneratePowerLawDataset(spec, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::FromDataset(data));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HistogramFromDataset)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace freqywm
+
+BENCHMARK_MAIN();

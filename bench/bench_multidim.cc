@@ -1,0 +1,71 @@
+// Reproduces §IV-C: watermarking the Adult dataset through the composite
+// token [Age, WorkClass] (paper: 481 distinct tokens, 20 pairs chosen at
+// z = 131, b = 2) and verifying that frequency increases replicate donor
+// rows rather than inventing attribute combinations.
+
+#include <set>
+
+#include "bench_common.h"
+#include "core/multidim.h"
+#include "datagen/real_world.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+int main() {
+  fb::PrintBanner("§IV-C — multi-dimensional tokens on Adult-like data",
+                  "ICDE'24 FreqyWM §IV-C (z=131, b=2)");
+  Rng rng(11);
+  TableDataset adult = MakeAdultLikeTable(rng, 48842);
+
+  const std::vector<std::vector<std::string>> token_defs = {
+      {"Age"}, {"Age", "WorkClass"}, {"Age", "WorkClass", "Education"}};
+
+  std::printf("%-28s %-10s %-8s %-8s %-12s %-10s\n", "token", "distinct",
+              "|Le|", "chosen", "similarity", "verified");
+  for (const auto& cols : token_defs) {
+    auto projected = adult.ProjectTokens(cols);
+    if (!projected.ok()) continue;
+    Histogram hist = Histogram::FromDataset(projected.value());
+
+    GenerateOptions o =
+        fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 99);
+    auto r = WatermarkTable(adult, cols, o);
+    std::string name;
+    for (const auto& c : cols) name += (name.empty() ? "" : "+") + c;
+    if (!r.ok()) {
+      std::printf("%-28s %-10zu inapplicable (%s)\n", name.c_str(),
+                  hist.num_tokens(), r.status().ToString().c_str());
+      continue;
+    }
+    DetectOptions d;
+    d.pair_threshold = 0;
+    d.min_pairs = r.value().report.chosen_pairs;
+    auto dr = DetectTableWatermark(r.value().watermarked, cols,
+                                   r.value().report.secrets, d);
+    std::printf("%-28s %-10zu %-8zu %-8zu %-12.4f %-10s\n", name.c_str(),
+                hist.num_tokens(), r.value().report.eligible_pairs,
+                r.value().report.chosen_pairs,
+                r.value().report.similarity_percent,
+                dr.ok() && dr.value().accepted ? "yes" : "NO");
+
+    // Semantic-consistency audit: no invented attribute combination.
+    std::set<std::string> combos;
+    for (size_t i = 0; i < adult.num_rows(); ++i) {
+      std::string key;
+      for (const auto& v : adult.row(i)) key += v + "|";
+      combos.insert(key);
+    }
+    size_t invented = 0;
+    for (size_t i = 0; i < r.value().watermarked.num_rows(); ++i) {
+      std::string key;
+      for (const auto& v : r.value().watermarked.row(i)) key += v + "|";
+      if (!combos.count(key)) ++invented;
+    }
+    std::printf("  -> invented attribute combinations after transform: %zu\n",
+                invented);
+  }
+  std::printf("\npaper reference: [Age, WorkClass] had 481 distinct tokens "
+              "and 20 chosen pairs\n");
+  return 0;
+}

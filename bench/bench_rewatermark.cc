@@ -1,0 +1,76 @@
+// Reproduces §V-D: the re-watermarking (false-claim) attack and the judge
+// arbitration protocol. The attacker watermarks the owner's watermarked
+// data and presents its own (valid-looking) secrets; the judge runs both
+// secrets against both datasets.
+//
+// Paper reference: the first watermark is still detected on the attacker's
+// dataset (92% of pairs at t = 0), and only the rightful owner's secret
+// verifies on both datasets.
+
+#include "attacks/rewatermark.h"
+#include "bench_common.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+int main() {
+  fb::PrintBanner("§V-D — re-watermarking attack + judge protocol",
+                  "ICDE'24 FreqyWM §V-D");
+  Histogram original = fb::MakeSynthetic(0.5, 42);
+
+  GenerateOptions owner_opts =
+      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
+  auto owner = WatermarkGenerator(owner_opts).GenerateFromHistogram(original);
+  if (!owner.ok()) return 1;
+
+  GenerateOptions attacker_opts = owner_opts;
+  attacker_opts.seed = 666;
+  auto attacker =
+      ReWatermarkAttack(owner.value().watermarked, attacker_opts);
+  if (!attacker.ok()) return 1;
+
+  std::printf("owner pairs: %zu, attacker pairs: %zu\n\n",
+              owner.value().report.chosen_pairs,
+              attacker.value().report.chosen_pairs);
+
+  std::printf("%-6s %-22s %-22s\n", "t", "owner-on-attacker-data",
+              "attacker-on-owner-data");
+  for (uint64_t t : {0ull, 1ull, 2ull, 4ull}) {
+    DetectOptions d;
+    d.pair_threshold = t;
+    d.min_pairs = 1;
+    double a_on_b = DetectWatermark(attacker.value().watermarked,
+                                    owner.value().report.secrets, d)
+                        .verified_fraction;
+    double b_on_a = DetectWatermark(owner.value().watermarked,
+                                    attacker.value().report.secrets, d)
+                        .verified_fraction;
+    std::printf("%-6llu %-22.3f %-22.3f\n",
+                static_cast<unsigned long long>(t), a_on_b, b_on_a);
+  }
+
+  DetectOptions judge;
+  judge.pair_threshold = 0;
+  judge.min_pairs =
+      std::max<size_t>(1, owner.value().report.chosen_pairs / 2);
+  JudgeReport report = ArbitrateOwnership(
+      owner.value().watermarked, owner.value().report.secrets,
+      attacker.value().watermarked, attacker.value().report.secrets, judge);
+  const char* verdict =
+      report.verdict == JudgeVerdict::kPartyA
+          ? "party A (honest owner)"
+          : report.verdict == JudgeVerdict::kPartyB ? "party B (attacker!)"
+                                                    : "inconclusive";
+  std::printf("\njudge verdict: %s\n", verdict);
+  std::printf("  A on A: %zu/%zu  A on B: %zu/%zu  B on A: %zu/%zu  "
+              "B on B: %zu/%zu\n",
+              report.a_on_a.pairs_verified, owner.value().report.chosen_pairs,
+              report.a_on_b.pairs_verified, owner.value().report.chosen_pairs,
+              report.b_on_a.pairs_verified,
+              attacker.value().report.chosen_pairs,
+              report.b_on_b.pairs_verified,
+              attacker.value().report.chosen_pairs);
+  std::printf("\npaper reference: first watermark detected at 92%% (t=0) on "
+              "the re-watermarked data; only the owner verifies on both\n");
+  return 0;
+}

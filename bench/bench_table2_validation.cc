@@ -1,0 +1,99 @@
+// Reproduces Table II: validation on (stand-ins for) the three real-world
+// datasets — Chicago Taxi, eyeWnder, Adult — reporting distinct tokens,
+// |Le|, chosen pairs per strategy, and generation/detection wall-clock.
+//
+// Scale note: the real Chicago Taxi file is 9.68 GB with 6,573 taxis and
+// the eyeWnder crawl has 11,479 URLs; this harness defaults to reduced
+// token universes so the full optimal matching finishes in seconds on a
+// laptop (set FREQYWM_TABLE2_FULL=1 for the paper-sized universes). The
+// comparison target is the *relationship* between columns (|Le| drives
+// chosen pairs; heuristics within a few % of optimal; detection orders of
+// magnitude faster than generation), not the absolute counts.
+
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/detect.h"
+#include "datagen/real_world.h"
+
+namespace fb = freqywm::bench;
+using namespace freqywm;
+
+namespace {
+
+struct Row {
+  const char* name;
+  const char* token;
+  Histogram hist;
+};
+
+void RunRow(const Row& row) {
+  const int kReps = 3;
+  double chosen[3] = {0, 0, 0};
+  double gen_seconds = 0;
+  double detect_seconds = 0;
+  size_t eligible = 0;
+  const SelectionStrategy strategies[3] = {SelectionStrategy::kOptimal,
+                                           SelectionStrategy::kGreedy,
+                                           SelectionStrategy::kRandom};
+  for (int s = 0; s < 3; ++s) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      GenerateOptions o = fb::MakeOptions(
+          2.0, 131, strategies[s], 4000 + static_cast<uint64_t>(rep));
+      Stopwatch watch;
+      auto r = WatermarkGenerator(o).GenerateFromHistogram(row.hist);
+      double elapsed = watch.ElapsedSeconds();
+      if (!r.ok()) continue;
+      chosen[s] += static_cast<double>(r.value().report.chosen_pairs);
+      eligible = r.value().report.eligible_pairs;
+      if (s == 0) {
+        gen_seconds += elapsed;
+        DetectOptions d;
+        d.pair_threshold = 0;
+        d.min_pairs = r.value().report.chosen_pairs;
+        Stopwatch dwatch;
+        DetectResult dr = DetectWatermark(r.value().watermarked,
+                                          r.value().report.secrets, d);
+        detect_seconds += dwatch.ElapsedSeconds();
+        if (!dr.accepted) std::printf("WARNING: detection failed!\n");
+      }
+    }
+    chosen[s] /= kReps;
+  }
+  std::printf("%-14s %-10s %-9zu %-9zu %-9.1f %-9.1f %-9.1f %-10.3f %-10.4f\n",
+              row.name, row.token, row.hist.num_tokens(), eligible,
+              chosen[0], chosen[1], chosen[2], gen_seconds / kReps,
+              detect_seconds / kReps);
+}
+
+}  // namespace
+
+int main() {
+  fb::PrintBanner("Table II — validation on real-world dataset stand-ins",
+                  "ICDE'24 FreqyWM Table II (z=131, b=2, mean of 3 runs)");
+  const bool full = std::getenv("FREQYWM_TABLE2_FULL") != nullptr;
+
+  Rng rng(7);
+  std::vector<Row> rows;
+  rows.push_back({"chicago-taxi", "TaxiID",
+                  MakeChicagoTaxiLikeHistogram(rng, full ? 6573 : 1500,
+                                               full ? 8'000'000 : 1'500'000)});
+  rows.push_back({"eyewnder", "URL",
+                  MakeEyeWnderLikeHistogram(rng, full ? 11479 : 3000,
+                                            full ? 1'200'000 : 600'000)});
+  TableDataset adult = MakeAdultLikeTable(rng, 48842);
+  auto ages = adult.ProjectTokens({"Age"});
+  rows.push_back({"adult", "Age", Histogram::FromDataset(ages.value())});
+
+  std::printf("%-14s %-10s %-9s %-9s %-9s %-9s %-9s %-10s %-10s\n",
+              "dataset", "token", "distinct", "|Le|", "optimal", "greedy",
+              "random", "gen(s)", "detect(s)");
+  for (const auto& row : rows) RunRow(row);
+
+  std::printf(
+      "\npaper reference (full data): taxi 6573 tokens |Le|=33308 "
+      "opt=805 gre=770 ran=773; eyewnder 11479 tokens |Le|=257 opt=38 "
+      "gre=33 ran=31; adult 73 tokens |Le|=72 opt=21 gre=20 ran=17\n");
+  return 0;
+}

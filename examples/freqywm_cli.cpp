@@ -1,0 +1,190 @@
+// freqywm_cli: command-line front end for the library, so datasets can be
+// watermarked and verified without writing C++.
+//
+//   freqywm_cli generate <tokens-in> <tokens-out> <secrets-out>
+//               [--budget B] [--z Z] [--min-modulus M] [--strategy S]
+//               [--seed N]
+//   freqywm_cli detect   <tokens-in> <secrets-in> [--t T] [--k K]
+//               [--symmetric] [--original-size N]
+//
+// Token files are one token per line (data/io.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/detect.h"
+#include "core/watermark.h"
+#include "data/io.h"
+
+using namespace freqywm;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  freqywm_cli generate <in> <out> <secrets> [--budget B] [--z Z]\n"
+      "              [--min-modulus M] [--strategy optimal|greedy|random]\n"
+      "              [--seed N]\n"
+      "  freqywm_cli detect <in> <secrets> [--t T] [--k K] [--symmetric]\n"
+      "              [--original-size N]\n");
+}
+
+bool ParseFlag(int argc, char** argv, int& i, const char* name,
+               std::string* value) {
+  if (std::strcmp(argv[i], name) != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  *value = argv[++i];
+  return true;
+}
+
+int RunGenerate(int argc, char** argv) {
+  if (argc < 5) {
+    Usage();
+    return 2;
+  }
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  const std::string secrets_path = argv[4];
+
+  GenerateOptions options;
+  options.modulus_bound = 131;
+  for (int i = 5; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argc, argv, i, "--budget", &v)) {
+      options.budget_percent = std::atof(v.c_str());
+    } else if (ParseFlag(argc, argv, i, "--z", &v)) {
+      options.modulus_bound = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argc, argv, i, "--min-modulus", &v)) {
+      options.min_modulus = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argc, argv, i, "--seed", &v)) {
+      options.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argc, argv, i, "--strategy", &v)) {
+      if (v == "optimal") {
+        options.strategy = SelectionStrategy::kOptimal;
+      } else if (v == "greedy") {
+        options.strategy = SelectionStrategy::kGreedy;
+      } else if (v == "random") {
+        options.strategy = SelectionStrategy::kRandom;
+      } else {
+        std::fprintf(stderr, "unknown strategy '%s'\n", v.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto dataset = ReadTokenFile(in_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", in_path.c_str(),
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto result = WatermarkGenerator(options).Generate(dataset.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteTokenFile(result.value().watermarked, out_path);
+      !s.ok()) {
+    std::fprintf(stderr, "cannot write '%s': %s\n", out_path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = result.value().report.secrets.SaveToFile(secrets_path);
+      !s.ok()) {
+    std::fprintf(stderr, "cannot write secrets: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  const GenerateReport& report = result.value().report;
+  std::printf("embedded %zu pairs (|Le| = %zu), similarity %.4f%%, "
+              "churn %llu rows\n",
+              report.chosen_pairs, report.eligible_pairs,
+              report.similarity_percent,
+              static_cast<unsigned long long>(report.total_churn));
+  std::printf("watermarked tokens -> %s\nsecrets -> %s (keep private!)\n",
+              out_path.c_str(), secrets_path.c_str());
+  return 0;
+}
+
+int RunDetect(int argc, char** argv) {
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  const std::string in_path = argv[2];
+  const std::string secrets_path = argv[3];
+  DetectOptions options;
+  uint64_t original_size = 0;
+  bool k_given = false;
+  for (int i = 4; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argc, argv, i, "--t", &v)) {
+      options.pair_threshold = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argc, argv, i, "--k", &v)) {
+      options.min_pairs = std::strtoull(v.c_str(), nullptr, 10);
+      k_given = true;
+    } else if (ParseFlag(argc, argv, i, "--original-size", &v)) {
+      original_size = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--symmetric") == 0) {
+      options.symmetric_residue = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto dataset = ReadTokenFile(in_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", in_path.c_str(),
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto secrets = WatermarkSecrets::LoadFromFile(secrets_path);
+  if (!secrets.ok()) {
+    std::fprintf(stderr, "cannot read secrets: %s\n",
+                 secrets.status().ToString().c_str());
+    return 1;
+  }
+  if (!k_given) {
+    options.min_pairs = std::max<size_t>(1, secrets.value().pairs.size() / 2);
+  }
+  if (original_size > 0 && dataset.value().size() > 0) {
+    options.rescale_factor = static_cast<double>(original_size) /
+                             static_cast<double>(dataset.value().size());
+  }
+
+  DetectResult result =
+      DetectWatermark(dataset.value(), secrets.value(), options);
+  std::printf("pairs found %zu, verified %zu of %zu (%.1f%%)\n",
+              result.pairs_found, result.pairs_verified,
+              secrets.value().pairs.size(),
+              result.verified_fraction * 100);
+  std::printf("verdict: %s\n",
+              result.accepted ? "WATERMARK DETECTED" : "not detected");
+  return result.accepted ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(argc, argv);
+  if (std::strcmp(argv[1], "detect") == 0) return RunDetect(argc, argv);
+  Usage();
+  return 2;
+}

@@ -1,0 +1,41 @@
+#include "analysis/multiwatermark.h"
+
+#include "stats/similarity.h"
+
+namespace freqywm {
+
+Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
+    const Histogram& original, size_t num_watermarks,
+    const GenerateOptions& base_options) {
+  MultiWatermarkResult out;
+  out.final_histogram = original;
+
+  for (size_t layer = 0; layer < num_watermarks; ++layer) {
+    GenerateOptions opts = base_options;
+    opts.seed = base_options.seed + layer + 1;
+    WatermarkGenerator generator(opts);
+
+    // Each layer watermarks the previous layer's output (sorted again:
+    // earlier layers may have introduced count ties in a different order).
+    Histogram input = out.final_histogram.Resorted();
+    Result<HistogramGenerateResult> r =
+        generator.GenerateFromHistogram(input);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kResourceExhausted) {
+        // This layer found no room; record and continue with the next.
+        out.similarity_to_original.push_back(
+            HistogramSimilarityPercent(original, out.final_histogram));
+        continue;
+      }
+      return r.status();
+    }
+    out.final_histogram = std::move(r.value().watermarked);
+    out.layers.push_back(std::move(r.value().report.secrets));
+    ++out.layers_embedded;
+    out.similarity_to_original.push_back(
+        HistogramSimilarityPercent(original, out.final_histogram));
+  }
+  return out;
+}
+
+}  // namespace freqywm

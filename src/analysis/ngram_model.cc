@@ -1,0 +1,77 @@
+#include "analysis/ngram_model.h"
+
+#include <algorithm>
+
+namespace freqywm {
+
+void BigramModel::Train(const Dataset& sequence) {
+  transitions_.clear();
+  best_successor_.clear();
+  global_fallback_.clear();
+
+  const auto& tokens = sequence.tokens();
+  std::unordered_map<Token, size_t> unigram;
+  for (const Token& t : tokens) ++unigram[t];
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    ++transitions_[tokens[i - 1]][tokens[i]];
+  }
+
+  for (const auto& [context, successors] : transitions_) {
+    const Token* best = nullptr;
+    size_t best_count = 0;
+    for (const auto& [succ, count] : successors) {
+      if (count > best_count || (count == best_count && best != nullptr &&
+                                 succ < *best)) {
+        best = &succ;
+        best_count = count;
+      }
+    }
+    if (best) best_successor_[context] = *best;
+  }
+
+  size_t best_count = 0;
+  for (const auto& [tok, count] : unigram) {
+    if (count > best_count ||
+        (count == best_count && tok < global_fallback_)) {
+      global_fallback_ = tok;
+      best_count = count;
+    }
+  }
+}
+
+Token BigramModel::Predict(const Token& token) const {
+  auto it = best_successor_.find(token);
+  if (it != best_successor_.end()) return it->second;
+  return global_fallback_;
+}
+
+double BigramModel::Accuracy(const Dataset& sequence) const {
+  const auto& tokens = sequence.tokens();
+  if (tokens.size() < 2) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (Predict(tokens[i - 1]) == tokens[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(tokens.size() - 1);
+}
+
+double TrainTestAccuracy(const Dataset& sequence, double train_fraction) {
+  const auto& tokens = sequence.tokens();
+  size_t split = static_cast<size_t>(
+      static_cast<double>(tokens.size()) *
+      std::clamp(train_fraction, 0.0, 1.0));
+  if (split < 2 || split >= tokens.size()) return 0.0;
+
+  Dataset train(
+      std::vector<Token>(tokens.begin(), tokens.begin() +
+                                              static_cast<ptrdiff_t>(split)));
+  Dataset test(
+      std::vector<Token>(tokens.begin() + static_cast<ptrdiff_t>(split),
+                         tokens.end()));
+  BigramModel model;
+  model.Train(train);
+  return model.Accuracy(test);
+}
+
+}  // namespace freqywm

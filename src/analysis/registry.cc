@@ -1,0 +1,106 @@
+#include "analysis/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace freqywm {
+
+namespace {
+constexpr char kMagic[] = "freqywm-registry v1";
+}  // namespace
+
+Status FingerprintRegistry::Register(const std::string& buyer_id,
+                                     WatermarkSecrets secrets) {
+  if (buyer_id.empty() || buyer_id.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("buyer id must be a non-empty line");
+  }
+  for (const auto& r : records_) {
+    if (r.buyer_id == buyer_id) {
+      return Status::InvalidArgument("buyer '" + buyer_id +
+                                     "' already registered");
+    }
+  }
+  records_.push_back(FingerprintRecord{buyer_id, std::move(secrets)});
+  return Status::OK();
+}
+
+std::vector<TraceMatch> FingerprintRegistry::Trace(
+    const Histogram& suspect, const DetectOptions& options) const {
+  std::vector<TraceMatch> matches;
+  for (const auto& record : records_) {
+    DetectResult r = DetectWatermark(suspect, record.secrets, options);
+    if (r.accepted) {
+      matches.push_back(TraceMatch{record.buyer_id, r});
+    }
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const TraceMatch& a, const TraceMatch& b) {
+                     return a.detection.verified_fraction >
+                            b.detection.verified_fraction;
+                   });
+  return matches;
+}
+
+std::string FingerprintRegistry::Serialize() const {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "records " << records_.size() << '\n';
+  for (const auto& record : records_) {
+    std::string secrets = record.secrets.Serialize();
+    size_t lines = static_cast<size_t>(
+        std::count(secrets.begin(), secrets.end(), '\n'));
+    out << "buyer " << lines << ' ' << record.buyer_id << '\n';
+    out << secrets;
+  }
+  return out.str();
+}
+
+Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return Status::Corruption("bad registry magic");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing records line");
+  }
+  std::vector<std::string> head = Split(std::string(StripWhitespace(line)), ' ');
+  if (head.size() != 2 || head[0] != "records" || !IsInteger(head[1])) {
+    return Status::Corruption("malformed records line");
+  }
+  size_t n = std::stoull(head[1]);
+
+  FingerprintRegistry registry;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("truncated registry");
+    }
+    // "buyer <secret-lines> <buyer id...>"
+    std::vector<std::string> parts = Split(line, ' ');
+    if (parts.size() < 3 || parts[0] != "buyer" || !IsInteger(parts[1])) {
+      return Status::Corruption("malformed buyer line");
+    }
+    size_t secret_lines = std::stoull(parts[1]);
+    std::string buyer_id =
+        line.substr(parts[0].size() + 1 + parts[1].size() + 1);
+
+    std::string secrets_text;
+    for (size_t l = 0; l < secret_lines; ++l) {
+      if (!std::getline(in, line)) {
+        return Status::Corruption("truncated secrets for '" + buyer_id +
+                                  "'");
+      }
+      secrets_text += line;
+      secrets_text += '\n';
+    }
+    FREQYWM_ASSIGN_OR_RETURN(WatermarkSecrets secrets,
+                             WatermarkSecrets::Deserialize(secrets_text));
+    FREQYWM_RETURN_NOT_OK(registry.Register(buyer_id, std::move(secrets)));
+  }
+  return registry;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,64 @@
+#ifndef FREQYWM_ANALYSIS_REGISTRY_H_
+#define FREQYWM_ANALYSIS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detect.h"
+#include "core/secrets.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// One escrowed fingerprint: a buyer identity and the secrets of the
+/// watermark embedded in that buyer's copy.
+struct FingerprintRecord {
+  std::string buyer_id;
+  WatermarkSecrets secrets;
+};
+
+/// Result of tracing a suspect dataset against the registry.
+struct TraceMatch {
+  std::string buyer_id;
+  DetectResult detection;
+};
+
+/// The immutable escrow index from the paper's introduction: a seller (or
+/// marketplace) stores one watermark secret per buyer; when an
+/// unauthorized copy surfaces, `Trace` identifies the culprit by running
+/// every escrowed secret against it.
+///
+/// The paper suggests a blockchain for immutability; this class provides
+/// the data structure and a text serialization — pin the serialized bytes
+/// wherever immutability is required.
+class FingerprintRegistry {
+ public:
+  FingerprintRegistry() = default;
+
+  /// Escrows a buyer's fingerprint. Fails with `InvalidArgument` when the
+  /// buyer id is empty, contains newlines, or is already registered.
+  Status Register(const std::string& buyer_id, WatermarkSecrets secrets);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<FingerprintRecord>& records() const { return records_; }
+
+  /// Runs detection with `options` for every escrowed secret against
+  /// `suspect` and returns the accepted matches, strongest first
+  /// (by verified fraction, ties by registration order).
+  std::vector<TraceMatch> Trace(const Histogram& suspect,
+                                const DetectOptions& options) const;
+
+  /// Serializes the whole registry (buyer ids + secrets).
+  std::string Serialize() const;
+
+  /// Parses the output of `Serialize`.
+  static Result<FingerprintRegistry> Deserialize(const std::string& text);
+
+ private:
+  std::vector<FingerprintRecord> records_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_ANALYSIS_REGISTRY_H_

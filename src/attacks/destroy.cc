@@ -1,0 +1,88 @@
+#include "attacks/destroy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace freqywm {
+namespace {
+
+/// Shared walk for the two order-preserving attacks. `scale` in (0, 1]
+/// shrinks the usable boundary fraction (1.0 = full boundary).
+Histogram AttackWithinBoundaries(const Histogram& watermarked, double scale,
+                                 Rng& rng) {
+  assert(watermarked.IsSortedDescending());
+  Histogram out = watermarked;
+  const auto& entries = watermarked.entries();
+  const size_t n = entries.size();
+  if (n == 0) return out;
+
+  // prev_new tracks the already-perturbed value of the previous rank so the
+  // updated upper boundary ("updates u_{i+1} by r_i", §V-C1) is respected.
+  uint64_t prev_new = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t f = entries[i].count;
+    // Upper slack: distance to the previous (already modified) token. The
+    // top token mirrors its lower gap since its true boundary is infinite.
+    uint64_t upper;
+    if (i == 0) {
+      upper = (n > 1) ? entries[0].count - entries[1].count
+                      : entries[0].count;
+    } else {
+      upper = prev_new > f ? prev_new - f : 0;
+    }
+    // Lower slack: distance to the next token's (original) frequency; the
+    // last token may drop to 1.
+    uint64_t lower =
+        (i + 1 < n) ? f - entries[i + 1].count : (f > 0 ? f - 1 : 0);
+
+    auto scaled = [scale](uint64_t b) {
+      return static_cast<uint64_t>(
+          std::floor(static_cast<double>(b) * scale));
+    };
+    int64_t lo = -static_cast<int64_t>(scaled(lower));
+    int64_t hi = static_cast<int64_t>(scaled(upper));
+    int64_t r = (lo >= hi) ? 0 : rng.UniformInt(lo, hi);
+
+    Status s = out.SetCount(entries[i].token,
+                            static_cast<uint64_t>(
+                                static_cast<int64_t>(f) + r));
+    assert(s.ok());
+    (void)s;
+    prev_new = static_cast<uint64_t>(static_cast<int64_t>(f) + r);
+  }
+  assert(out.IsSortedDescending());
+  return out;
+}
+
+}  // namespace
+
+Histogram DestroyAttackWithinBoundaries(const Histogram& watermarked,
+                                        Rng& rng) {
+  return AttackWithinBoundaries(watermarked, 1.0, rng);
+}
+
+Histogram DestroyAttackPercentOfBoundary(const Histogram& watermarked,
+                                         double percent, Rng& rng) {
+  return AttackWithinBoundaries(watermarked,
+                                std::clamp(percent, 0.0, 100.0) / 100.0, rng);
+}
+
+Histogram DestroyAttackWithReordering(const Histogram& watermarked,
+                                      double percent, Rng& rng) {
+  Histogram out = watermarked;
+  double p = std::clamp(percent, 0.0, 100.0) / 100.0;
+  for (const auto& e : watermarked.entries()) {
+    int64_t span = static_cast<int64_t>(
+        std::floor(static_cast<double>(e.count) * p));
+    int64_t r = span > 0 ? rng.UniformInt(-span, span) : 0;
+    int64_t nv = static_cast<int64_t>(e.count) + r;
+    if (nv < 1) nv = 1;  // keep the token present
+    Status s = out.SetCount(e.token, static_cast<uint64_t>(nv));
+    assert(s.ok());
+    (void)s;
+  }
+  return out;
+}
+
+}  // namespace freqywm

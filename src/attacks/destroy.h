@@ -1,0 +1,40 @@
+#ifndef FREQYWM_ATTACKS_DESTROY_H_
+#define FREQYWM_ATTACKS_DESTROY_H_
+
+#include "common/random.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Destroy attacks (§V-C): the pirate knows the scheme (Kerckhoffs) and
+/// perturbs token frequencies hoping to erase the modular relationships,
+/// while trying not to ruin the data's utility.
+
+/// §V-C1 attack (1), the stronger of the two order-preserving attacks:
+/// walk the ranks, pick a uniformly random perturbation inside the current
+/// upper/lower boundary of each token, and update the next token's boundary
+/// after each change so the ranking never breaks.
+///
+/// The top token's upper boundary is unbounded; the attack caps it at the
+/// token's gap to rank 1 (mirroring its only finite boundary) so the attack
+/// stays "utility-preserving".
+///
+/// Precondition: histogram sorted descending. Returns the attacked copy.
+Histogram DestroyAttackWithinBoundaries(const Histogram& watermarked,
+                                        Rng& rng);
+
+/// §V-C1 attack (2): like the above but each token moves at most
+/// `percent`% of its boundary (the paper's 1% attack), i.e.
+/// u'_i = floor(u_i * percent/100), l'_i = floor(l_i * percent/100).
+Histogram DestroyAttackPercentOfBoundary(const Histogram& watermarked,
+                                         double percent, Rng& rng);
+
+/// §V-C2 attack: re-ordering allowed. Every frequency moves by a uniform
+/// amount in [-percent%, +percent%] of its own value, which may scramble
+/// ranks (and wrecks utility at high percentages — the paper's point).
+Histogram DestroyAttackWithReordering(const Histogram& watermarked,
+                                      double percent, Rng& rng);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_ATTACKS_DESTROY_H_

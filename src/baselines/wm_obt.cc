@@ -1,0 +1,192 @@
+#include "baselines/wm_obt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace freqywm {
+namespace {
+
+/// The hiding statistic of Shehab et al.: a smoothed "fraction of values
+/// above the reference point mean + c * stddev". Sigmoid-smoothed so the GA
+/// has a gradient to climb.
+double HidingStatistic(const std::vector<int64_t>& values, double condition) {
+  const size_t n = values.size();
+  if (n == 0) return 0.0;
+  double mean = 0;
+  for (int64_t v : values) mean += static_cast<double>(v);
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (int64_t v : values) {
+    var += (static_cast<double>(v) - mean) * (static_cast<double>(v) - mean);
+  }
+  double sd = std::sqrt(var / static_cast<double>(n));
+  if (sd == 0) sd = 1.0;
+  double ref = mean + condition * sd;
+
+  double stat = 0;
+  for (int64_t v : values) {
+    double zscaled = (static_cast<double>(v) - ref) / sd;
+    stat += 1.0 / (1.0 + std::exp(-zscaled));
+  }
+  return stat / static_cast<double>(n);
+}
+
+/// One GA individual: integer deltas for each value of a partition.
+struct Individual {
+  std::vector<int64_t> deltas;
+  double fitness = 0;
+};
+
+/// Optimizes the deltas of one partition with a simple generational GA:
+/// tournament selection, uniform crossover, per-gene mutation.
+std::vector<int64_t> OptimizePartition(const std::vector<int64_t>& values,
+                                       bool maximize,
+                                       const WmObtOptions& opt, Rng& rng) {
+  const size_t n = values.size();
+  if (n == 0) return {};
+
+  auto delta_bounds = [&](int64_t value) {
+    int64_t lo = static_cast<int64_t>(
+        std::floor(opt.min_change_fraction * static_cast<double>(value)));
+    int64_t hi = static_cast<int64_t>(
+        std::floor(opt.max_change_fraction * static_cast<double>(value)));
+    lo = std::max(lo, 1 - value);  // counts must remain >= 1
+    if (hi < lo) hi = lo;
+    return std::pair<int64_t, int64_t>(lo, hi);
+  };
+  auto clamp_delta = [&](int64_t value, int64_t delta) {
+    auto [lo, hi] = delta_bounds(value);
+    return std::clamp(delta, lo, hi);
+  };
+  auto random_delta = [&](int64_t value) {
+    auto [lo, hi] = delta_bounds(value);
+    return rng.UniformInt(lo, hi);
+  };
+  auto evaluate = [&](const std::vector<int64_t>& deltas) {
+    std::vector<int64_t> modified(n);
+    for (size_t i = 0; i < n; ++i) modified[i] = values[i] + deltas[i];
+    double s = HidingStatistic(modified, opt.condition);
+    return maximize ? s : -s;
+  };
+  auto random_individual = [&]() {
+    Individual ind;
+    ind.deltas.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      ind.deltas[i] = random_delta(values[i]);
+    }
+    ind.fitness = evaluate(ind.deltas);
+    return ind;
+  };
+
+  std::vector<Individual> pop;
+  pop.reserve(opt.population);
+  for (size_t i = 0; i < opt.population; ++i) pop.push_back(random_individual());
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a = pop[rng.UniformU64(pop.size())];
+    const Individual& b = pop[rng.UniformU64(pop.size())];
+    return a.fitness >= b.fitness ? a : b;
+  };
+
+  for (size_t gen = 0; gen < opt.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(opt.population);
+    // Elitism: carry the best individual over.
+    size_t best = 0;
+    for (size_t i = 1; i < pop.size(); ++i) {
+      if (pop[i].fitness > pop[best].fitness) best = i;
+    }
+    next.push_back(pop[best]);
+
+    while (next.size() < opt.population) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      child.deltas.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        child.deltas[i] = rng.Bernoulli(0.5) ? pa.deltas[i] : pb.deltas[i];
+        if (rng.Bernoulli(opt.mutation_rate)) {
+          child.deltas[i] = random_delta(values[i]);
+        }
+        child.deltas[i] = clamp_delta(values[i], child.deltas[i]);
+      }
+      child.fitness = evaluate(child.deltas);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i < pop.size(); ++i) {
+    if (pop[i].fitness > pop[best].fitness) best = i;
+  }
+  return pop[best].deltas;
+}
+
+/// Secret partition of a token: keyed hash mod num_partitions.
+size_t PartitionOf(const Token& token, uint64_t key_seed,
+                   size_t num_partitions) {
+  Sha256 h;
+  h.Update("wm-obt-partition:");
+  std::string key = std::to_string(key_seed);
+  h.Update(key);
+  h.Update(token);
+  return static_cast<size_t>(DigestPrefixU64(h.Finish()) % num_partitions);
+}
+
+}  // namespace
+
+Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
+                     Rng& rng, WmObtStats* stats) {
+  assert(options.num_partitions > 0 && !options.watermark_bits.empty());
+
+  // Group ranks by secret partition.
+  std::vector<std::vector<size_t>> partitions(options.num_partitions);
+  const auto& entries = original.entries();
+  for (size_t rank = 0; rank < entries.size(); ++rank) {
+    partitions[PartitionOf(entries[rank].token, options.key_seed,
+                           options.num_partitions)]
+        .push_back(rank);
+  }
+
+  Histogram out = original;
+  if (stats) {
+    stats->partition_statistic.assign(options.num_partitions, 0.0);
+    stats->decoded_bits.assign(options.num_partitions, 0);
+  }
+
+  for (size_t p = 0; p < options.num_partitions; ++p) {
+    const auto& ranks = partitions[p];
+    if (ranks.empty()) continue;
+    int bit = options.watermark_bits[p % options.watermark_bits.size()];
+
+    std::vector<int64_t> values;
+    values.reserve(ranks.size());
+    for (size_t rank : ranks) {
+      values.push_back(static_cast<int64_t>(entries[rank].count));
+    }
+    std::vector<int64_t> deltas =
+        OptimizePartition(values, /*maximize=*/bit == 1, options, rng);
+
+    std::vector<int64_t> modified(values.size());
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      modified[i] = values[i] + deltas[i];
+      Status s = out.SetCount(entries[ranks[i]].token,
+                              static_cast<uint64_t>(modified[i]));
+      assert(s.ok());
+      (void)s;
+    }
+    if (stats) {
+      double stat = HidingStatistic(modified, options.condition);
+      stats->partition_statistic[p] = stat;
+      // Decode: statistic above threshold reads as bit 1.
+      stats->decoded_bits[p] = stat >= stats->decode_threshold ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,60 @@
+#ifndef FREQYWM_BASELINES_WM_OBT_H_
+#define FREQYWM_BASELINES_WM_OBT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// WM-OBT: the optimization-based relational watermark of Shehab, Bertino &
+/// Ghafoor (TKDE 2008), adapted — as in the paper's §IV-D — to watermark a
+/// token *histogram* treated as a numeric table (token = primary key,
+/// frequency = attribute). Integer-constrained as required for counts.
+///
+/// Scheme: tokens are assigned to `num_partitions` secret partitions by a
+/// keyed hash. Partition p embeds watermark bit `bits[p % bits.size()]` by
+/// *maximizing* (bit 1) or *minimizing* (bit 0) a hiding statistic — the
+/// fraction of values above the reference `mean + condition * stddev`,
+/// smoothed by a sum of sigmoids — subject to a per-value change constraint
+/// `[min_change, max_change]`. The optimizer is a hand-rolled genetic
+/// algorithm (the paper's choice).
+struct WmObtOptions {
+  size_t num_partitions = 20;
+  std::vector<int> watermark_bits = {1, 1, 0, 1, 0};
+  /// The reference-point multiplier c in mean + c * stddev.
+  double condition = 0.75;
+  /// Per-value allowed change as *fractions of the value*, matching the
+  /// paper's [-0.5, 10] constraint (their WM-OBT run produced mean changes
+  /// of 444 on counts around 1000, i.e. multiples of the value, not ±10
+  /// absolute). Counts never drop below 1.
+  double min_change_fraction = -0.5;
+  double max_change_fraction = 10.0;
+  /// Genetic algorithm parameters.
+  size_t population = 40;
+  size_t generations = 60;
+  double mutation_rate = 0.08;
+  /// Key for the secret partitioning.
+  uint64_t key_seed = 0x0b75;
+};
+
+/// Per-partition decode statistics (used to evaluate the decoding threshold
+/// the paper mentions, 0.0966).
+struct WmObtStats {
+  /// Hiding statistic per partition after embedding.
+  std::vector<double> partition_statistic;
+  /// Decoded bits using `decode_threshold`.
+  std::vector<int> decoded_bits;
+  double decode_threshold = 0.0966;
+};
+
+/// Embeds WM-OBT into a histogram's counts. Returns the watermarked copy
+/// (counts modified in place per partition, never below 1).
+Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
+                     Rng& rng, WmObtStats* stats = nullptr);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_BASELINES_WM_OBT_H_

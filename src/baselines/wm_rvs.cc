@@ -1,0 +1,86 @@
+#include "baselines/wm_rvs.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace freqywm {
+namespace {
+
+uint64_t KeyedHash(const Token& token, uint64_t key_seed,
+                   const char* domain) {
+  Sha256 h;
+  h.Update(domain);
+  h.Update(std::to_string(key_seed));
+  h.Update(token);
+  return DigestPrefixU64(h.Finish());
+}
+
+int64_t Pow10(int p) {
+  int64_t v = 1;
+  for (int i = 0; i < p; ++i) v *= 10;
+  return v;
+}
+
+}  // namespace
+
+Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
+                     WmRvsSideTable* side_table) {
+  assert(!options.watermark_bits.empty());
+  Histogram out = original;
+  if (side_table) side_table->entries.clear();
+
+  for (const auto& e : original.entries()) {
+    uint64_t h = KeyedHash(e.token, options.key_seed, "wm-rvs:");
+    int pos = static_cast<int>(
+        h % static_cast<uint64_t>(options.max_digit_position + 1));
+    int bit_index = static_cast<int>(
+        (h >> 8) % options.watermark_bits.size());
+    int bit = options.watermark_bits[static_cast<size_t>(bit_index)];
+
+    int64_t value = static_cast<int64_t>(e.count);
+    int64_t scale = Pow10(pos);
+    if (value < scale) continue;  // digit position does not exist
+
+    int original_digit = static_cast<int>((value / scale) % 10);
+    // Keyed substitution digit carrying the watermark bit: even digits
+    // encode 0, odd digits encode 1.
+    int candidate = static_cast<int>((h >> 16) % 10);
+    if ((candidate % 2) != bit) candidate = (candidate + 1) % 10;
+
+    int64_t modified =
+        value + static_cast<int64_t>(candidate - original_digit) * scale;
+    if (modified < 1) continue;  // keep counts positive
+
+    Status s = out.SetCount(e.token, static_cast<uint64_t>(modified));
+    assert(s.ok());
+    (void)s;
+    if (side_table) {
+      side_table->entries.push_back(
+          WmRvsSideTable::Entry{e.token, pos, original_digit});
+    }
+  }
+  return out;
+}
+
+Histogram ReverseWmRvs(const Histogram& watermarked,
+                       const WmRvsSideTable& side_table) {
+  Histogram out = watermarked;
+  for (const auto& entry : side_table.entries) {
+    auto count = out.CountOf(entry.token);
+    if (!count) continue;
+    int64_t value = static_cast<int64_t>(*count);
+    int64_t scale = Pow10(entry.digit_position);
+    int current_digit = static_cast<int>((value / scale) % 10);
+    int64_t restored =
+        value +
+        static_cast<int64_t>(entry.original_digit - current_digit) * scale;
+    Status s = out.SetCount(entry.token, static_cast<uint64_t>(restored));
+    assert(s.ok());
+    (void)s;
+  }
+  return out;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,50 @@
+#ifndef FREQYWM_BASELINES_WM_RVS_H_
+#define FREQYWM_BASELINES_WM_RVS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// WM-RVS: the reversible, value-setting relational watermark of Li et al.
+/// (TKDE 2022), adapted — as in the paper's §IV-D — to a token histogram
+/// and constrained to integers (a frequency count cannot carry decimals).
+///
+/// Scheme: each value embeds one watermark bit in a low-significance digit.
+/// A keyed hash of the token selects which digit position (ones or tens)
+/// and which watermark bit applies; the digit is replaced by a keyed
+/// substitution digit carrying that bit. Reversibility comes from a
+/// side-table of original digits that the embedding returns.
+struct WmRvsOptions {
+  std::vector<int> watermark_bits = {1, 1, 0, 1, 0};
+  /// Highest digit position that may be modified (0 = ones only,
+  /// 1 = ones or tens — the paper's "random least significant position").
+  int max_digit_position = 1;
+  uint64_t key_seed = 0x475;
+};
+
+/// The reversibility side-table: original digit per modified token.
+struct WmRvsSideTable {
+  struct Entry {
+    Token token;
+    int digit_position = 0;
+    int original_digit = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Embeds WM-RVS into a histogram's counts. Returns the watermarked copy;
+/// `side_table` (optional) receives what is needed to reverse.
+Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
+                     WmRvsSideTable* side_table = nullptr);
+
+/// Restores the original histogram from a watermarked one and the
+/// side-table (the "reversible" property of the scheme).
+Histogram ReverseWmRvs(const Histogram& watermarked,
+                       const WmRvsSideTable& side_table);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_BASELINES_WM_RVS_H_

@@ -1,0 +1,25 @@
+#ifndef FREQYWM_COMMON_HEX_H_
+#define FREQYWM_COMMON_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace freqywm {
+
+/// Encodes `bytes` as lowercase hexadecimal ("deadbeef").
+std::string HexEncode(const std::vector<uint8_t>& bytes);
+
+/// Encodes a raw buffer as lowercase hexadecimal.
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// Decodes a hex string (case-insensitive). Fails with `Corruption` on odd
+/// length or non-hex characters.
+Result<std::vector<uint8_t>> HexDecode(std::string_view hex);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_COMMON_HEX_H_

@@ -1,0 +1,83 @@
+#ifndef FREQYWM_COMMON_RESULT_H_
+#define FREQYWM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace freqywm {
+
+/// A value-or-error union, the `Result<T>` idiom from Arrow/absl.
+///
+/// Exactly one of the two states holds at any time:
+///   * OK: carries a `T` (`ok()` is true, `value()` is valid);
+///   * error: carries a non-OK `Status` (`value()` must not be called).
+///
+/// Constructing a `Result` from an OK `Status` is a programming error and is
+/// converted into an `Internal` error so that misuse is observable rather
+/// than undefined.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (the common success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit conversion from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Borrow the value. Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Move the value out. Precondition: `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result`-returning expression to `lhs`, or
+/// propagates the error. `lhs` may be a declaration (`auto x`).
+#define FREQYWM_ASSIGN_OR_RETURN(lhs, expr)       \
+  FREQYWM_ASSIGN_OR_RETURN_IMPL(                  \
+      FREQYWM_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define FREQYWM_CONCAT_INNER_(a, b) a##b
+#define FREQYWM_CONCAT_(a, b) FREQYWM_CONCAT_INNER_(a, b)
+#define FREQYWM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_COMMON_RESULT_H_

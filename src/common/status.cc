@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace freqywm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kCorruption:
+      return "corruption";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,34 @@
+#ifndef FREQYWM_COMMON_STOPWATCH_H_
+#define FREQYWM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace freqywm {
+
+/// Wall-clock stopwatch for the coarse Gen/Detect timings in Table II.
+///
+/// Microbenchmarks use google-benchmark; this class exists for the
+/// end-to-end experiment harnesses where a single run is timed.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last `Reset()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last `Reset()`.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_COMMON_STOPWATCH_H_

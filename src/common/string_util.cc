@@ -1,0 +1,53 @@
+#include "common/string_util.h"
+
+namespace freqywm {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\r' ||
+                   text[b] == '\n')) {
+    ++b;
+  }
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' ||
+                   text[e - 1] == '\r' || text[e - 1] == '\n')) {
+    --e;
+  }
+  return text.substr(b, e - b);
+}
+
+bool IsInteger(std::string_view text) {
+  if (text.empty()) return false;
+  size_t i = (text[0] == '+' || text[0] == '-') ? 1 : 0;
+  if (i == text.size()) return false;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace freqywm

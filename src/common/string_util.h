@@ -1,0 +1,24 @@
+#ifndef FREQYWM_COMMON_STRING_UTIL_H_
+#define FREQYWM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace freqywm {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True iff `text` consists of one or more ASCII digits (optionally signed).
+bool IsInteger(std::string_view text);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,24 @@
+#include "core/boundaries.h"
+
+#include <cassert>
+
+namespace freqywm {
+
+std::vector<TokenBoundary> ComputeBoundaries(const Histogram& hist) {
+  assert(hist.IsSortedDescending());
+  const auto& entries = hist.entries();
+  const size_t n = entries.size();
+  std::vector<TokenBoundary> bounds(n);
+  for (size_t i = 0; i < n; ++i) {
+    bounds[i].upper = (i == 0) ? TokenBoundary::kUnbounded
+                               : entries[i - 1].count - entries[i].count;
+    if (i + 1 < n) {
+      bounds[i].lower = entries[i].count - entries[i + 1].count;
+    } else {
+      bounds[i].lower = entries[i].count > 0 ? entries[i].count - 1 : 0;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,37 @@
+#ifndef FREQYWM_CORE_BOUNDARIES_H_
+#define FREQYWM_CORE_BOUNDARIES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Per-token frequency slack derived from the sorted histogram (§III-B1).
+///
+/// `upper` is how much a token's frequency may grow, `lower` how much it may
+/// shrink, without passing its rank neighbours. The top token's upper
+/// boundary is unbounded (`kUnbounded`); the bottom token's lower boundary
+/// is its own frequency minus one (the paper allows removing "so many
+/// appearances"; we keep at least one instance so the detection pair can
+/// still be found).
+struct TokenBoundary {
+  static constexpr uint64_t kUnbounded =
+      std::numeric_limits<uint64_t>::max();
+
+  uint64_t upper = 0;
+  uint64_t lower = 0;
+};
+
+/// Computes boundaries for every rank of a descending-sorted histogram:
+///   upper_i = f_{i-1} - f_i   (infinite for rank 0)
+///   lower_i = f_i - f_{i+1}   (f_i - 1 for the last rank)
+///
+/// Precondition: `hist.IsSortedDescending()`.
+std::vector<TokenBoundary> ComputeBoundaries(const Histogram& hist);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_BOUNDARIES_H_

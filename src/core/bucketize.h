@@ -1,0 +1,46 @@
+#ifndef FREQYWM_CORE_BUCKETIZE_H_
+#define FREQYWM_CORE_BUCKETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace freqywm {
+
+/// How raw numeric values map onto bucket tokens (§VI "Challenging
+/// datasets"): wide-range values (e.g. sales amounts with decimals) rarely
+/// repeat, so FreqyWM first clusters them into buckets and watermarks at
+/// the bucket level.
+struct BucketizeSpec {
+  /// Left edge of the first bucket.
+  double origin = 0.0;
+  /// Bucket width (> 0).
+  double width = 1.0;
+  /// Prefix of generated bucket tokens; bucket i is "<prefix><i>".
+  std::string token_prefix = "bucket";
+};
+
+/// Maps one numeric value to its bucket token.
+Token BucketToken(double value, const BucketizeSpec& spec);
+
+/// Converts a column of numeric strings into a bucket-token dataset.
+/// Fails with `InvalidArgument` on non-numeric input or non-positive
+/// width. Values below `origin` clamp into bucket 0.
+Result<Dataset> BucketizeNumericStrings(
+    const std::vector<std::string>& values, const BucketizeSpec& spec);
+
+/// Convenience for double inputs.
+Dataset BucketizeNumeric(const std::vector<double>& values,
+                         const BucketizeSpec& spec);
+
+/// Recovers the inclusive-exclusive value range [lo, hi) a bucket token
+/// covers, for documentation/reporting. Fails with `InvalidArgument` when
+/// the token was not produced with this spec's prefix.
+Result<std::pair<double, double>> BucketRange(const Token& token,
+                                              const BucketizeSpec& spec);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_BUCKETIZE_H_

@@ -1,0 +1,63 @@
+#include "core/detect.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "crypto/pair_modulus.h"
+
+namespace freqywm {
+
+DetectResult DetectWatermark(const Histogram& suspect,
+                             const WatermarkSecrets& secrets,
+                             const DetectOptions& options) {
+  DetectResult out;
+  if (secrets.z < 2 || secrets.pairs.empty()) return out;
+
+  PairModulus modulus(secrets.r, secrets.z);
+
+  for (const auto& pair : secrets.pairs) {
+    auto ci = suspect.CountOf(pair.token_i);
+    auto cj = suspect.CountOf(pair.token_j);
+    if (!ci || !cj) continue;
+    ++out.pairs_found;
+
+    double fi = static_cast<double>(*ci);
+    double fj = static_cast<double>(*cj);
+    if (options.rescale_factor > 0.0) {
+      fi = std::llround(fi * options.rescale_factor);
+      fj = std::llround(fj * options.rescale_factor);
+    }
+
+    uint64_t s = modulus.Compute(pair.token_i, pair.token_j);
+    if (s < 2) continue;  // cannot happen for honestly generated pairs
+
+    // The difference may be negative if an attack flipped the pair's
+    // order; modular arithmetic on the absolute difference is equivalent
+    // under the symmetric option and the honest convention otherwise.
+    int64_t diff = static_cast<int64_t>(fi) - static_cast<int64_t>(fj);
+    uint64_t residue =
+        static_cast<uint64_t>(((diff % static_cast<int64_t>(s)) +
+                               static_cast<int64_t>(s)) %
+                              static_cast<int64_t>(s));
+
+    bool pass = residue <= options.pair_threshold;
+    if (!pass && options.symmetric_residue) {
+      pass = (s - residue) <= options.pair_threshold;
+    }
+    if (pass) ++out.pairs_verified;
+  }
+
+  out.verified_fraction =
+      static_cast<double>(out.pairs_verified) /
+      static_cast<double>(secrets.pairs.size());
+  out.accepted = out.pairs_verified >= options.min_pairs;
+  return out;
+}
+
+DetectResult DetectWatermark(const Dataset& suspect,
+                             const WatermarkSecrets& secrets,
+                             const DetectOptions& options) {
+  return DetectWatermark(Histogram::FromDataset(suspect), secrets, options);
+}
+
+}  // namespace freqywm

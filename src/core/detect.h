@@ -1,0 +1,48 @@
+#ifndef FREQYWM_CORE_DETECT_H_
+#define FREQYWM_CORE_DETECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/secrets.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Outcome of `WmDetect` (Algorithm II).
+struct DetectResult {
+  /// True when at least `min_pairs` (k) stored pairs were verified.
+  bool accepted = false;
+  /// Pairs of Lwm whose both tokens were present in the suspect data.
+  size_t pairs_found = 0;
+  /// Pairs whose residue passed the threshold test.
+  size_t pairs_verified = 0;
+  /// pairs_verified / |Lwm| (0 when Lwm is empty); the "success rate"
+  /// series plotted in Figs. 4 and 5.
+  double verified_fraction = 0.0;
+};
+
+/// Runs watermark detection on a suspect histogram.
+///
+/// For each stored pair present in the histogram it re-derives
+/// `s_ij = H(tk_i || H(R || tk_j)) mod z` and accepts the pair when
+/// `(f_i - f_j) mod s_ij <= t` (one-sided, as in the paper) or additionally
+/// when the residue is within `t` of `s_ij` (symmetric option). The dataset
+/// is declared watermarked when at least `k` pairs verify.
+///
+/// The suspect histogram does NOT need to be sorted — only counts are read.
+/// Runs in O(|Lwm|) hash evaluations (linear, §I "verify very fast").
+DetectResult DetectWatermark(const Histogram& suspect,
+                             const WatermarkSecrets& secrets,
+                             const DetectOptions& options);
+
+/// Convenience overload building the histogram from a raw dataset.
+DetectResult DetectWatermark(const Dataset& suspect,
+                             const WatermarkSecrets& secrets,
+                             const DetectOptions& options);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_DETECT_H_

@@ -1,0 +1,113 @@
+#include "core/eligible.h"
+
+#include <cassert>
+
+namespace freqywm {
+namespace {
+
+/// Half of `gap`, rounded down, with unbounded passed through.
+uint64_t HalfGap(uint64_t gap) {
+  if (gap == TokenBoundary::kUnbounded) return gap;
+  return gap / 2;
+}
+
+/// True when a signed delta fits within the available slack.
+bool DeltaFits(int64_t delta, uint64_t up_slack, uint64_t down_slack) {
+  if (delta >= 0) {
+    return up_slack == TokenBoundary::kUnbounded ||
+           static_cast<uint64_t>(delta) <= up_slack;
+  }
+  return static_cast<uint64_t>(-delta) <= down_slack;
+}
+
+}  // namespace
+
+EligiblePair MakePairPlan(size_t rank_i, size_t rank_j, uint64_t freq_diff,
+                          uint64_t s) {
+  assert(s >= 2);
+  EligiblePair p;
+  p.rank_i = rank_i;
+  p.rank_j = rank_j;
+  p.s = s;
+  p.remainder = freq_diff % s;
+
+  if (p.remainder == 0) {
+    p.delta_i = 0;
+    p.delta_j = 0;
+    p.cost = 0;
+  } else if (p.remainder <= s / 2) {
+    // Shrink the difference by rm: take ceil(rm/2) from the frequent token,
+    // give floor(rm/2) to the rare one.
+    uint64_t rm = p.remainder;
+    p.delta_i = -static_cast<int64_t>((rm + 1) / 2);
+    p.delta_j = static_cast<int64_t>(rm / 2);
+    p.cost = rm;
+  } else {
+    // Wrap around: grow the difference by s - rm instead.
+    uint64_t d = s - p.remainder;
+    p.delta_i = static_cast<int64_t>((d + 1) / 2);
+    p.delta_j = -static_cast<int64_t>(d / 2);
+    p.cost = d;
+  }
+  return p;
+}
+
+std::vector<EligiblePair> BuildEligiblePairs(const Histogram& hist,
+                                             const PairModulus& modulus,
+                                             EligibilityRule rule,
+                                             uint64_t min_modulus,
+                                             uint64_t min_pair_cost) {
+  if (min_modulus < 2) min_modulus = 2;
+  assert(hist.IsSortedDescending());
+  const auto& entries = hist.entries();
+  const size_t n = entries.size();
+  std::vector<TokenBoundary> bounds = ComputeBoundaries(hist);
+  std::vector<EligiblePair> eligible;
+
+  // Cache the inner digest H(R || tk_j) per token: the O(n^2) scan then
+  // costs one outer hash per pair instead of two hashes.
+  std::vector<Sha256::Digest> inner(n);
+  for (size_t j = 0; j < n; ++j) {
+    inner[j] = modulus.InnerDigest(entries[j].token);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      uint64_t s = modulus.ComputeWithInner(entries[i].token, inner[j]);
+      if (s < min_modulus) continue;  // s < 2 undefined; below the floor
+
+      EligiblePair plan =
+          MakePairPlan(i, j, entries[i].count - entries[j].count, s);
+      if (plan.cost < min_pair_cost) continue;  // carries no evidence
+
+      bool ok = false;
+      if (rule == EligibilityRule::kPaper) {
+        // All four boundaries must be at least ceil(s/2).
+        const uint64_t need = (s + 1) / 2;
+        auto fits = [need](uint64_t bound) {
+          return bound == TokenBoundary::kUnbounded || bound >= need;
+        };
+        ok = fits(bounds[i].upper) && fits(bounds[i].lower) &&
+             fits(bounds[j].upper) && fits(bounds[j].lower);
+      } else {
+        // Strict rule: the exact deltas must fit within HALF of each shared
+        // gap (full slack at the unshared extremes), which provably keeps
+        // the ranking for any token-disjoint set of pairs.
+        uint64_t up_i = (i == 0) ? TokenBoundary::kUnbounded
+                                 : HalfGap(bounds[i].upper);
+        uint64_t down_i = (i + 1 == n) ? bounds[i].lower
+                                       : HalfGap(bounds[i].lower);
+        uint64_t up_j = (j == 0) ? TokenBoundary::kUnbounded
+                                 : HalfGap(bounds[j].upper);
+        uint64_t down_j = (j + 1 == n) ? bounds[j].lower
+                                       : HalfGap(bounds[j].lower);
+        ok = DeltaFits(plan.delta_i, up_i, down_i) &&
+             DeltaFits(plan.delta_j, up_j, down_j);
+      }
+      if (ok) eligible.push_back(plan);
+    }
+  }
+  return eligible;
+}
+
+}  // namespace freqywm

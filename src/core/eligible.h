@@ -1,0 +1,61 @@
+#ifndef FREQYWM_CORE_ELIGIBLE_H_
+#define FREQYWM_CORE_ELIGIBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/boundaries.h"
+#include "core/options.h"
+#include "crypto/pair_modulus.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// One candidate watermarking pair (an element of `Le`, §III-B1), with the
+/// exact frequency changes that would embed it.
+///
+/// `rank_i < rank_j`, so token i is the more frequent one and
+/// `f_i - f_j >= 0`. The embedding rule requires `(f_i' - f_j') mod s == 0`;
+/// with remainder `rm = (f_i - f_j) mod s` the cheapest fix is:
+///   * shrink the difference by `rm` when `rm <= s/2`
+///     (f_i -= ceil(rm/2), f_j += floor(rm/2)), or
+///   * grow it by `s - rm` otherwise
+///     (f_i += ceil((s-rm)/2), f_j -= floor((s-rm)/2)) —
+/// the paper's wrap-around observation that caps per-pair churn at s/2.
+struct EligiblePair {
+  size_t rank_i = 0;
+  size_t rank_j = 0;
+  /// Keyed per-pair modulus (>= 2 for eligible pairs).
+  uint64_t s = 0;
+  /// (f_i - f_j) mod s at generation time.
+  uint64_t remainder = 0;
+  /// Exact signed frequency deltas that zero the residue.
+  int64_t delta_i = 0;
+  int64_t delta_j = 0;
+  /// Total token-instance churn |delta_i| + |delta_j| = min(rm, s - rm).
+  uint64_t cost = 0;
+};
+
+/// Computes the deltas/cost fields for a pair given its difference and
+/// modulus. Exposed separately because detection-side analysis and tests
+/// reuse the rule.
+EligiblePair MakePairPlan(size_t rank_i, size_t rank_j, uint64_t freq_diff,
+                          uint64_t s);
+
+/// Builds the eligible pair list `Le` for a sorted histogram.
+///
+/// Scans all token pairs (O(n^2) keyed-hash evaluations), keeping a pair
+/// when `s_ij >= min_modulus` (the paper's rule is min_modulus = 2) and the
+/// boundary test of `rule` passes. The returned list is ordered by
+/// (rank_i, rank_j), which makes downstream selection deterministic.
+///
+/// Precondition: `hist.IsSortedDescending()`.
+std::vector<EligiblePair> BuildEligiblePairs(const Histogram& hist,
+                                             const PairModulus& modulus,
+                                             EligibilityRule rule,
+                                             uint64_t min_modulus = 2,
+                                             uint64_t min_pair_cost = 0);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_ELIGIBLE_H_

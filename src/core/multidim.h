@@ -1,0 +1,42 @@
+#ifndef FREQYWM_CORE_MULTIDIM_H_
+#define FREQYWM_CORE_MULTIDIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detect.h"
+#include "core/watermark.h"
+#include "data/dataset.h"
+
+namespace freqywm {
+
+/// Result of watermarking a relational table through composite tokens.
+struct TableGenerateResult {
+  TableDataset watermarked;
+  GenerateReport report;
+};
+
+/// Watermarks a multi-dimensional dataset (§IV-C).
+///
+/// The named columns are joined into composite tokens (e.g.
+/// `[Age, WorkClass]`), the token histogram is watermarked as usual, and
+/// the table is transformed: removals delete uniformly random rows holding
+/// the token; additions use the paper's "naive solution" — replicate a
+/// random donor row with the same token so the non-token attributes stay
+/// internally consistent. The paper notes semantic constraints may need a
+/// domain-aware last step; that hook is exactly `ReplicateTokenRows`, which
+/// callers can replace with their own policy.
+Result<TableGenerateResult> WatermarkTable(
+    const TableDataset& table, const std::vector<std::string>& token_columns,
+    const GenerateOptions& options);
+
+/// Detects a watermark on a relational table by re-projecting the token
+/// columns and running histogram detection.
+Result<DetectResult> DetectTableWatermark(
+    const TableDataset& table, const std::vector<std::string>& token_columns,
+    const WatermarkSecrets& secrets, const DetectOptions& options);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_MULTIDIM_H_

@@ -1,0 +1,42 @@
+#ifndef FREQYWM_CORE_SELECT_H_
+#define FREQYWM_CORE_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eligible.h"
+#include "core/options.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Outcome of pair selection: indices into the eligible list, plus the
+/// similarity the watermarked histogram will have after applying them.
+struct SelectionResult {
+  /// Indices into the eligible vector, token-disjoint by construction.
+  std::vector<size_t> chosen;
+  /// Histogram similarity (percent) after applying all chosen deltas.
+  double similarity_percent = 100.0;
+};
+
+/// Selects watermarking pairs from `eligible` under the similarity budget.
+///
+/// * `kOptimal` — reduce to Maximum Weight Matching over the token graph
+///   (edge weight per `options.weight_formula`), then fill the budget with
+///   the equally-valued-knapsack order (ascending cost) while the exact
+///   similarity constraint holds (§III-B2).
+/// * `kGreedy`  — ascending-remainder scan over all eligible pairs.
+/// * `kRandom`  — random-order scan.
+///
+/// All strategies guarantee the returned pairs share no token and that
+/// applying their deltas keeps similarity >= (100 - budget)%.
+///
+/// `rng` is consumed only by `kRandom`.
+SelectionResult SelectPairs(const Histogram& hist,
+                            const std::vector<EligiblePair>& eligible,
+                            const GenerateOptions& options, Rng& rng);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_SELECT_H_

@@ -1,0 +1,103 @@
+#ifndef FREQYWM_CORE_WATERMARK_H_
+#define FREQYWM_CORE_WATERMARK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/eligible.h"
+#include "core/options.h"
+#include "core/secrets.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Everything `WmGenerate` produces besides the watermarked data itself.
+struct GenerateReport {
+  /// The owner's secret list `Lsc` — store this; it is the proof key.
+  WatermarkSecrets secrets;
+  /// |Le|: how many pairs were eligible.
+  size_t eligible_pairs = 0;
+  /// How many pairs were actually watermarked (|Lwm|).
+  size_t chosen_pairs = 0;
+  /// Similarity (percent) between original and watermarked histograms.
+  double similarity_percent = 100.0;
+  /// Total token instances added plus removed.
+  uint64_t total_churn = 0;
+};
+
+/// Result of watermarking a histogram (histogram-level API).
+struct HistogramGenerateResult {
+  Histogram watermarked;
+  GenerateReport report;
+};
+
+/// Result of watermarking a full dataset (row-level API).
+struct DatasetGenerateResult {
+  Dataset watermarked;
+  GenerateReport report;
+};
+
+/// The FreqyWM watermark generator (Algorithm I).
+///
+/// Typical histogram-level use:
+/// \code
+///   GenerateOptions opts;
+///   opts.budget_percent = 2.0;
+///   opts.modulus_bound = 1031;
+///   opts.seed = 42;                       // deterministic for experiments
+///   WatermarkGenerator gen(opts);
+///   auto result = gen.GenerateFromHistogram(hist);
+///   if (!result.ok()) { ... }
+///   // result.value().watermarked  — the watermarked histogram
+///   // result.value().report.secrets — Lsc, keep it safe
+/// \endcode
+///
+/// The dataset-level `Generate` additionally performs the Data
+/// Transformation step: it inserts new token instances at uniformly random
+/// positions and removes surplus instances at random positions (random
+/// placement is part of the guess-attack story, §III-B1).
+class WatermarkGenerator {
+ public:
+  explicit WatermarkGenerator(GenerateOptions options);
+
+  /// Watermarks a frequency histogram. Fails with:
+  ///  * `InvalidArgument` for malformed options or an unsorted histogram,
+  ///  * `ResourceExhausted` when no pair fits the budget (e.g. uniform
+  ///    frequencies — the paper's inapplicability case).
+  Result<HistogramGenerateResult> GenerateFromHistogram(
+      const Histogram& original) const;
+
+  /// Watermarks a dataset end-to-end (histogram + data transformation).
+  Result<DatasetGenerateResult> Generate(const Dataset& original) const;
+
+  const GenerateOptions& options() const { return options_; }
+
+ private:
+  Status ValidateOptions() const;
+
+  GenerateOptions options_;
+};
+
+/// Applies the exact deltas of `chosen` (indices into `eligible`) to a copy
+/// of `hist`. Enforces the Ranking Constraint: pairs whose deltas would
+/// break descending order at application time are skipped (possible only
+/// in rare shared-gap corner cases under `EligibilityRule::kPaper`; see
+/// DESIGN.md §5). Returns the watermarked histogram; `applied` receives the
+/// indices actually applied.
+Histogram ApplyPairDeltas(const Histogram& hist,
+                          const std::vector<EligiblePair>& eligible,
+                          const std::vector<size_t>& chosen,
+                          std::vector<size_t>* applied);
+
+/// Rewrites `original` so its histogram matches `target`: removes surplus
+/// token instances at random positions and inserts missing ones at random
+/// positions. Tokens absent from `target` are left untouched.
+Dataset TransformDataset(const Dataset& original, const Histogram& target,
+                         Rng& rng);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CORE_WATERMARK_H_

@@ -1,0 +1,35 @@
+#include "crypto/pair_modulus.h"
+
+#include <cassert>
+
+#include "crypto/sha256.h"
+
+namespace freqywm {
+
+PairModulus::PairModulus(const WatermarkSecret& secret, uint64_t z)
+    : r_bytes_(secret.r.begin(), secret.r.end()), z_(z) {
+  assert(z_ >= 2 && "modulo 0 is undefined and modulo 1 is always 0");
+}
+
+uint64_t PairModulus::Compute(std::string_view token_i,
+                              std::string_view token_j) const {
+  return ComputeWithInner(token_i, InnerDigest(token_j));
+}
+
+Sha256::Digest PairModulus::InnerDigest(std::string_view token_j) const {
+  Sha256 inner;
+  inner.Update(r_bytes_);
+  inner.Update(token_j);
+  return inner.Finish();
+}
+
+uint64_t PairModulus::ComputeWithInner(std::string_view token_i,
+                                       const Sha256::Digest& inner_j) const {
+  Sha256 outer;
+  outer.Update(token_i);
+  outer.Update(inner_j.data(), inner_j.size());
+  Sha256::Digest outer_digest = outer.Finish();
+  return DigestPrefixU64(outer_digest) % z_;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,54 @@
+#ifndef FREQYWM_CRYPTO_PAIR_MODULUS_H_
+#define FREQYWM_CRYPTO_PAIR_MODULUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/secret.h"
+#include "crypto/sha256.h"
+
+namespace freqywm {
+
+/// Derives the per-pair modulus `s_ij = H(tk_i || H(R || tk_j)) mod z`.
+///
+/// This is the keyed quantity at the heart of FreqyWM: the watermark
+/// embedding rule forces `(f_i - f_j) mod s_ij == 0`, and only a holder of
+/// `R` can recompute `s_ij` for a pair. The digest prefix (first 8 bytes,
+/// big-endian) is reduced modulo `z`.
+///
+/// Note the derivation is intentionally *asymmetric* in (i, j): the pair is
+/// always keyed with the higher-ranked token first, matching the paper's
+/// ordered pair list `Lwm`.
+///
+/// Preconditions: `z >= 2` (modulo 0 is undefined and modulo 1 is always 0,
+/// paper §III-B1). The returned value lies in `[0, z)`; values 0 and 1 make
+/// the pair ineligible and are filtered by `core::BuildEligiblePairs`.
+class PairModulus {
+ public:
+  /// Creates a derivation context bound to secret `R` and bound `z`.
+  PairModulus(const WatermarkSecret& secret, uint64_t z);
+
+  /// Computes `s_ij` for an ordered token pair.
+  uint64_t Compute(std::string_view token_i, std::string_view token_j) const;
+
+  /// Precomputes the inner digest `H(R || tk_j)`. Bulk pair scans (the
+  /// O(n^2) eligible-pair construction) cache one inner digest per token,
+  /// halving the hash work.
+  Sha256::Digest InnerDigest(std::string_view token_j) const;
+
+  /// Computes `s_ij` given a precomputed inner digest for `token_j`.
+  uint64_t ComputeWithInner(std::string_view token_i,
+                            const Sha256::Digest& inner_j) const;
+
+  /// The modulus bound `z`.
+  uint64_t z() const { return z_; }
+
+ private:
+  std::string r_bytes_;
+  uint64_t z_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CRYPTO_PAIR_MODULUS_H_

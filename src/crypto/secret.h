@@ -1,0 +1,47 @@
+#ifndef FREQYWM_CRYPTO_SECRET_H_
+#define FREQYWM_CRYPTO_SECRET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace freqywm {
+
+/// The high-entropy watermarking secret `R` from the paper (λ-bit string).
+///
+/// `R` is the private key of the scheme: together with the public modulus
+/// bound `z` it determines every per-pair modulus `s_ij`. Anyone holding `R`,
+/// `z`, and the pair list can verify the watermark; nobody else can guess it
+/// with non-negligible probability (paper §V-A).
+struct WatermarkSecret {
+  /// λ/8 bytes of key material (default λ = 256).
+  std::vector<uint8_t> r;
+
+  /// Security parameter in bits (length of `r` in bits).
+  size_t lambda_bits() const { return r.size() * 8; }
+
+  /// Serializes to lowercase hex for storage alongside `Lsc`.
+  std::string ToHex() const;
+
+  /// Parses a secret from hex produced by `ToHex`.
+  static Result<WatermarkSecret> FromHex(const std::string& hex);
+
+  friend bool operator==(const WatermarkSecret& a, const WatermarkSecret& b) {
+    return a.r == b.r;
+  }
+};
+
+/// Generates a fresh λ-bit secret.
+///
+/// Entropy is drawn from `std::random_device` and whitened through SHA-256.
+/// When `deterministic_seed` is non-zero the secret is instead derived
+/// entirely from the seed — used by tests and by the experiment harnesses so
+/// every reported number is reproducible.
+WatermarkSecret GenerateSecret(size_t lambda_bits = 256,
+                               uint64_t deterministic_seed = 0);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CRYPTO_SECRET_H_

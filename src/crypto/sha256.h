@@ -1,0 +1,66 @@
+#ifndef FREQYWM_CRYPTO_SHA256_H_
+#define FREQYWM_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace freqywm {
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch.
+///
+/// The paper instantiates the collision-resistant hash `H` with SHA-256;
+/// this is the only cryptographic primitive FreqyWM needs. The
+/// implementation is verified against the NIST CAVP short-message vectors
+/// in `tests/crypto/sha256_test.cc`.
+///
+/// Usage:
+/// \code
+///   Sha256 h;
+///   h.Update(data, len);
+///   auto digest = h.Finish();   // 32 bytes
+/// \endcode
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `len` bytes. May be called any number of times before Finish.
+  void Update(const uint8_t* data, size_t len);
+
+  /// Convenience overload for string data.
+  void Update(std::string_view data);
+
+  /// Completes the hash and returns the 32-byte digest. The object must not
+  /// be reused afterwards (construct a fresh `Sha256`).
+  Digest Finish();
+
+  /// One-shot digest of `data`.
+  static Digest Hash(std::string_view data);
+
+  /// One-shot digest of a byte vector.
+  static Digest Hash(const std::vector<uint8_t>& data);
+
+  /// One-shot digest returned as lowercase hex (for tests and serialization).
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Interprets the first 8 digest bytes as a big-endian integer. This is how
+/// FreqyWM reduces a digest to a number before the `mod z` step.
+uint64_t DigestPrefixU64(const Sha256::Digest& digest);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_CRYPTO_SHA256_H_

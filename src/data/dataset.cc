@@ -1,0 +1,139 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace freqywm {
+
+void Dataset::InsertAtRandomPosition(Token token, Rng& rng) {
+  size_t pos = static_cast<size_t>(rng.UniformU64(tokens_.size() + 1));
+  tokens_.insert(tokens_.begin() + static_cast<ptrdiff_t>(pos),
+                 std::move(token));
+}
+
+size_t Dataset::RemoveRandomOccurrences(const Token& token, size_t count,
+                                        Rng& rng) {
+  if (count == 0) return 0;
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] == token) positions.push_back(i);
+  }
+  if (positions.empty()) return 0;
+  size_t n = std::min(count, positions.size());
+  rng.Shuffle(positions);
+  positions.resize(n);
+  std::sort(positions.begin(), positions.end());
+  // Erase from the back so earlier indices stay valid.
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    tokens_.erase(tokens_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  return n;
+}
+
+size_t Dataset::CountOf(const Token& token) const {
+  return static_cast<size_t>(
+      std::count(tokens_.begin(), tokens_.end(), token));
+}
+
+Dataset Dataset::SampleRows(size_t sample_size, Rng& rng) const {
+  if (sample_size >= tokens_.size()) return *this;
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(tokens_.size(), sample_size);
+  std::sort(picked.begin(), picked.end());
+  std::vector<Token> out;
+  out.reserve(picked.size());
+  for (size_t idx : picked) out.push_back(tokens_[idx]);
+  return Dataset(std::move(out));
+}
+
+Status TableDataset::AppendRow(std::vector<std::string> row) {
+  if (row.size() != column_names_.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<size_t> TableDataset::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Result<std::vector<size_t>> TableDataset::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  if (names.empty()) {
+    return Status::InvalidArgument("token projection needs >= 1 column");
+  }
+  std::vector<size_t> idx;
+  idx.reserve(names.size());
+  for (const auto& n : names) {
+    FREQYWM_ASSIGN_OR_RETURN(size_t i, ColumnIndex(n));
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+Result<Dataset> TableDataset::ProjectTokens(
+    const std::vector<std::string>& token_columns) const {
+  FREQYWM_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                           ResolveColumns(token_columns));
+  std::vector<Token> tokens;
+  tokens.reserve(rows_.size());
+  std::vector<std::string> parts(idx.size());
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < idx.size(); ++c) parts[c] = row[idx[c]];
+    tokens.push_back(JoinAttributes(parts));
+  }
+  return Dataset(std::move(tokens));
+}
+
+Status TableDataset::ReplicateTokenRows(
+    const std::vector<std::string>& token_columns, const Token& token,
+    size_t count, Rng& rng) {
+  FREQYWM_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                           ResolveColumns(token_columns));
+  std::vector<size_t> donors;
+  std::vector<std::string> parts(idx.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < idx.size(); ++c) parts[c] = rows_[r][idx[c]];
+    if (JoinAttributes(parts) == token) donors.push_back(r);
+  }
+  if (donors.empty()) {
+    return Status::NotFound("token has no donor row to replicate");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    size_t donor = donors[rng.UniformU64(donors.size())];
+    std::vector<std::string> row = rows_[donor];
+    size_t pos = static_cast<size_t>(rng.UniformU64(rows_.size() + 1));
+    rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(pos), std::move(row));
+    // Donor indices shift after insertion; re-adjust those at/after pos.
+    for (auto& d : donors) {
+      if (d >= pos) ++d;
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> TableDataset::RemoveTokenRows(
+    const std::vector<std::string>& token_columns, const Token& token,
+    size_t count, Rng& rng) {
+  FREQYWM_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                           ResolveColumns(token_columns));
+  std::vector<size_t> holders;
+  std::vector<std::string> parts(idx.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < idx.size(); ++c) parts[c] = rows_[r][idx[c]];
+    if (JoinAttributes(parts) == token) holders.push_back(r);
+  }
+  size_t n = std::min(count, holders.size());
+  rng.Shuffle(holders);
+  holders.resize(n);
+  std::sort(holders.begin(), holders.end());
+  for (auto it = holders.rbegin(); it != holders.rend(); ++it) {
+    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  return n;
+}
+
+}  // namespace freqywm

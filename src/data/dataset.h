@@ -1,0 +1,107 @@
+#ifndef FREQYWM_DATA_DATASET_H_
+#define FREQYWM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/token.h"
+
+namespace freqywm {
+
+/// The dataset `Do`/`Dw` from the paper: an ordered multiset of tokens.
+///
+/// Order matters to FreqyWM only for security (added tokens must land at
+/// random positions, §III-B1) and for the sequence-analysis experiments in
+/// §VI; the watermark itself depends only on the frequency histogram.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Wraps an existing token sequence.
+  explicit Dataset(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Number of rows (token occurrences), i.e. the paper's sample size.
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+
+  /// Read access to the token sequence.
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const Token& operator[](size_t i) const { return tokens_[i]; }
+
+  /// Appends one token occurrence at the end.
+  void Append(Token token) { tokens_.push_back(std::move(token)); }
+
+  /// Inserts one occurrence of `token` at a uniformly random position.
+  /// Random placement is part of the scheme's guess-attack resistance.
+  void InsertAtRandomPosition(Token token, Rng& rng);
+
+  /// Removes up to `count` occurrences of `token`, chosen at uniformly
+  /// random positions. Returns the number actually removed.
+  size_t RemoveRandomOccurrences(const Token& token, size_t count, Rng& rng);
+
+  /// Counts occurrences of `token` (O(n); use Histogram for bulk queries).
+  size_t CountOf(const Token& token) const;
+
+  /// Returns a uniformly random sample (without replacement) of
+  /// `sample_size` rows, preserving the original relative order.
+  /// Used by the sampling attack (§V-B).
+  Dataset SampleRows(size_t sample_size, Rng& rng) const;
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+/// A multi-dimensional (relational) dataset: rows of attribute values with a
+/// shared schema. FreqyWM operates on it by projecting one or more attributes
+/// into composite tokens (§IV-C).
+class TableDataset {
+ public:
+  TableDataset() = default;
+
+  /// Creates a table with the given column names.
+  explicit TableDataset(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  /// Appends a row. Fails with `InvalidArgument` if the arity mismatches.
+  Status AppendRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Resolves a column name to its index.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Projects the named columns into a single-dimensional token `Dataset`
+  /// by joining each row's selected attribute values (paper §IV-C: a token
+  /// can be `[Age]` or `[Age, WorkClass]`).
+  Result<Dataset> ProjectTokens(
+      const std::vector<std::string>& token_columns) const;
+
+  /// Adds `count` new rows whose token columns equal `token` by copying the
+  /// non-token attributes from uniformly random existing rows carrying that
+  /// token (the paper's "naive solution" for frequency increase, §IV-C).
+  /// Fails with `NotFound` if the token has no donor row.
+  Status ReplicateTokenRows(const std::vector<std::string>& token_columns,
+                            const Token& token, size_t count, Rng& rng);
+
+  /// Removes `count` uniformly random rows whose token columns equal `token`.
+  /// Returns the number actually removed.
+  Result<size_t> RemoveTokenRows(const std::vector<std::string>& token_columns,
+                                 const Token& token, size_t count, Rng& rng);
+
+ private:
+  Result<std::vector<size_t>> ResolveColumns(
+      const std::vector<std::string>& names) const;
+
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_DATA_DATASET_H_

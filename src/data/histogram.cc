@@ -1,0 +1,122 @@
+#include "data/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freqywm {
+namespace {
+
+void SortDescending(std::vector<HistogramEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const HistogramEntry& a, const HistogramEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.token < b.token;
+            });
+}
+
+}  // namespace
+
+Histogram Histogram::FromDataset(const Dataset& dataset) {
+  std::unordered_map<Token, uint64_t> counts;
+  counts.reserve(dataset.size());
+  for (const Token& t : dataset.tokens()) ++counts[t];
+
+  Histogram h;
+  h.entries_.reserve(counts.size());
+  for (auto& [token, count] : counts) {
+    h.entries_.push_back(HistogramEntry{token, count});
+  }
+  SortDescending(h.entries_);
+  h.total_ = dataset.size();
+  h.RebuildIndex();
+  return h;
+}
+
+Result<Histogram> Histogram::FromCounts(std::vector<HistogramEntry> entries) {
+  Histogram h;
+  h.entries_ = std::move(entries);
+  SortDescending(h.entries_);
+  uint64_t total = 0;
+  for (size_t i = 0; i < h.entries_.size(); ++i) {
+    if (h.entries_[i].count == 0) {
+      return Status::InvalidArgument("histogram entry with zero count");
+    }
+    if (i > 0 && h.entries_[i].token == h.entries_[i - 1].token) {
+      return Status::InvalidArgument("duplicate token in histogram: " +
+                                     h.entries_[i].token);
+    }
+    total += h.entries_[i].count;
+  }
+  h.total_ = total;
+  h.RebuildIndex();
+  return h;
+}
+
+void Histogram::RebuildIndex() {
+  index_.clear();
+  index_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) index_[entries_[i].token] = i;
+}
+
+std::optional<uint64_t> Histogram::CountOf(const Token& token) const {
+  auto it = index_.find(token);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].count;
+}
+
+std::optional<size_t> Histogram::RankOf(const Token& token) const {
+  auto it = index_.find(token);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Histogram::SetCount(const Token& token, uint64_t count) {
+  auto it = index_.find(token);
+  if (it == index_.end()) {
+    return Status::NotFound("token not in histogram: " + token);
+  }
+  total_ -= entries_[it->second].count;
+  entries_[it->second].count = count;
+  total_ += count;
+  return Status::OK();
+}
+
+Status Histogram::AddDelta(const Token& token, int64_t delta) {
+  auto it = index_.find(token);
+  if (it == index_.end()) {
+    return Status::NotFound("token not in histogram: " + token);
+  }
+  uint64_t& count = entries_[it->second].count;
+  if (delta < 0 && count < static_cast<uint64_t>(-delta)) {
+    return Status::InvalidArgument("delta would make count negative");
+  }
+  total_ = total_ - count;
+  count = static_cast<uint64_t>(static_cast<int64_t>(count) + delta);
+  total_ += count;
+  return Status::OK();
+}
+
+bool Histogram::IsSortedDescending() const {
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count > entries_[i - 1].count) return false;
+  }
+  return true;
+}
+
+Histogram Histogram::Resorted() const {
+  Histogram h = *this;
+  SortDescending(h.entries_);
+  h.RebuildIndex();
+  return h;
+}
+
+void Histogram::ScaleCounts(double factor) {
+  total_ = 0;
+  for (auto& e : entries_) {
+    e.count = static_cast<uint64_t>(std::llround(
+        static_cast<double>(e.count) * factor));
+    total_ += e.count;
+  }
+}
+
+}  // namespace freqywm

@@ -1,0 +1,28 @@
+#ifndef FREQYWM_DATA_IO_H_
+#define FREQYWM_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace freqywm {
+
+/// Reads a single-dimensional token dataset: one token per line.
+/// Blank lines are skipped; surrounding whitespace is stripped.
+Result<Dataset> ReadTokenFile(const std::string& path);
+
+/// Writes one token per line.
+Status WriteTokenFile(const Dataset& dataset, const std::string& path);
+
+/// Reads a simple comma-separated table with a header row. No quoting rules:
+/// this loader targets the synthetic datasets produced by `datagen`, whose
+/// values never contain commas.
+Result<TableDataset> ReadSimpleCsv(const std::string& path);
+
+/// Writes a `TableDataset` as a simple comma-separated file with header.
+Status WriteSimpleCsv(const TableDataset& table, const std::string& path);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_DATA_IO_H_

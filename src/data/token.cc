@@ -1,0 +1,15 @@
+#include "data/token.h"
+
+#include "common/string_util.h"
+
+namespace freqywm {
+
+Token JoinAttributes(const std::vector<std::string>& attributes) {
+  return Join(attributes, kTokenAttributeSeparator);
+}
+
+std::vector<std::string> SplitAttributes(const Token& token) {
+  return Split(token, kTokenAttributeSeparator);
+}
+
+}  // namespace freqywm

@@ -1,0 +1,65 @@
+#include "datagen/clickstream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/power_law.h"
+
+namespace freqywm {
+
+std::vector<ClickEvent> GenerateClickstream(const ClickstreamSpec& spec,
+                                            Rng& rng) {
+  // Sample event times by inverse-transform over a piecewise-constant
+  // intensity: hour weight = (1 + trend·day) · (1 + seasonality·sin(2π·h/24)).
+  const size_t num_hours = spec.num_days * 24;
+  std::vector<double> hour_weights(num_hours);
+  for (size_t h = 0; h < num_hours; ++h) {
+    double day = static_cast<double>(h) / 24.0;
+    double hour_of_day = static_cast<double>(h % 24);
+    double trend = 1.0 + spec.daily_trend * day;
+    double season =
+        1.0 + spec.daily_seasonality *
+                  std::sin(2.0 * M_PI * hour_of_day / 24.0);
+    hour_weights[h] = trend * season;
+  }
+  AliasSampler hour_sampler(hour_weights);
+  AliasSampler url_sampler(PowerLawProbabilities(spec.num_urls, spec.alpha));
+
+  std::vector<ClickEvent> events;
+  events.reserve(spec.num_events);
+  for (size_t i = 0; i < spec.num_events; ++i) {
+    size_t hour = hour_sampler.Sample(rng);
+    int64_t offset = static_cast<int64_t>(hour) * 3600 +
+                     static_cast<int64_t>(rng.UniformU64(3600));
+    events.push_back(ClickEvent{
+        spec.start_timestamp + offset,
+        "url" + std::to_string(url_sampler.Sample(rng))});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ClickEvent& a, const ClickEvent& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return events;
+}
+
+Dataset ClickstreamTokens(const std::vector<ClickEvent>& events) {
+  std::vector<Token> tokens;
+  tokens.reserve(events.size());
+  for (const auto& e : events) tokens.push_back(e.url);
+  return Dataset(std::move(tokens));
+}
+
+std::vector<double> DailyClickCounts(const std::vector<ClickEvent>& events,
+                                     int64_t start_timestamp,
+                                     size_t num_days) {
+  std::vector<double> counts(num_days, 0.0);
+  for (const auto& e : events) {
+    int64_t day = (e.timestamp - start_timestamp) / 86400;
+    if (day >= 0 && static_cast<size_t>(day) < num_days) {
+      counts[static_cast<size_t>(day)] += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace freqywm

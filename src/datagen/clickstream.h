@@ -1,0 +1,53 @@
+#ifndef FREQYWM_DATAGEN_CLICKSTREAM_H_
+#define FREQYWM_DATAGEN_CLICKSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace freqywm {
+
+/// One click: a Unix timestamp (seconds) and a URL token.
+struct ClickEvent {
+  int64_t timestamp = 0;
+  Token url;
+};
+
+/// Parameters for the timestamped click-stream used by the §VI feature
+/// analysis (trend / seasonality / residual, Figs. 6–9).
+struct ClickstreamSpec {
+  /// Number of distinct URLs (popularity follows a power law).
+  size_t num_urls = 2000;
+  /// Total number of clicks.
+  size_t num_events = 200'000;
+  /// Simulated duration in days.
+  size_t num_days = 60;
+  /// Power-law exponent of URL popularity.
+  double alpha = 1.0;
+  /// Linear daily traffic growth (fraction of base rate per day).
+  double daily_trend = 0.004;
+  /// Amplitude of the intra-day (24h) seasonal modulation, in [0, 1).
+  double daily_seasonality = 0.5;
+  /// Start time of the stream.
+  int64_t start_timestamp = 1'700'000'000;
+};
+
+/// Generates a click-stream with a built-in trend and daily seasonality so
+/// that classical time-series decomposition has structure to find.
+/// Events are returned in timestamp order.
+std::vector<ClickEvent> GenerateClickstream(const ClickstreamSpec& spec,
+                                            Rng& rng);
+
+/// Projects a click-stream onto its URL tokens (order preserved) so it can
+/// be watermarked like any other token dataset.
+Dataset ClickstreamTokens(const std::vector<ClickEvent>& events);
+
+/// Counts clicks per day; the "browser history" series of Fig. 9.
+std::vector<double> DailyClickCounts(const std::vector<ClickEvent>& events,
+                                     int64_t start_timestamp, size_t num_days);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_DATAGEN_CLICKSTREAM_H_

@@ -1,0 +1,60 @@
+#ifndef FREQYWM_DATAGEN_POWER_LAW_H_
+#define FREQYWM_DATAGEN_POWER_LAW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Parameters of the paper's synthetic workload (§IV-A): `sample_size`
+/// draws over `num_tokens` distinct tokens whose popularity follows a
+/// bounded power law with skewness `alpha`.
+///
+/// `alpha = 0` is the uniform distribution (no eligible pairs — FreqyWM by
+/// design cannot watermark it); larger `alpha` concentrates mass on the head
+/// and produces a long tail of nearly-equal frequencies.
+struct PowerLawSpec {
+  size_t num_tokens = 1000;
+  size_t sample_size = 1'000'000;
+  double alpha = 0.5;
+  /// Token names are `<token_prefix><rank>`, rank 0 = most popular.
+  std::string token_prefix = "tk";
+};
+
+/// Returns the rank probabilities `p_i ∝ (i+1)^{-alpha}` for the spec.
+std::vector<double> PowerLawProbabilities(size_t num_tokens, double alpha);
+
+/// Samples a full token sequence (`spec.sample_size` rows).
+Dataset GeneratePowerLawDataset(const PowerLawSpec& spec, Rng& rng);
+
+/// Samples only the frequency histogram (same distribution as
+/// `GeneratePowerLawDataset` but without materializing the row order).
+/// Much faster for experiments that never look at token positions.
+Histogram GeneratePowerLawHistogram(const PowerLawSpec& spec, Rng& rng);
+
+/// Walker alias table for O(1) categorical sampling; exposed because the
+/// datagen stand-ins and the clickstream generator reuse it.
+class AliasSampler {
+ public:
+  /// Builds the table from (not necessarily normalized) weights.
+  /// Precondition: at least one strictly positive weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in `[0, weights.size())`.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_DATAGEN_POWER_LAW_H_

@@ -1,0 +1,56 @@
+#ifndef FREQYWM_DATAGEN_REAL_WORLD_H_
+#define FREQYWM_DATAGEN_REAL_WORLD_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Synthetic stand-ins for the three real datasets of Table II.
+///
+/// The actual files (Chicago Taxi trips, the eyeWnder click-stream, UCI
+/// Adult) are not available offline, so these generators reproduce the
+/// properties that drive FreqyWM's behaviour: the number of distinct tokens,
+/// the shape of the frequency distribution (which determines the eligible
+/// pair count |Le|), and — for Adult — the multi-attribute structure used by
+/// the §IV-C multi-dimensional experiment. See DESIGN.md §2 for the
+/// substitution rationale.
+
+/// Chicago Taxi stand-in: trips keyed by Taxi ID.
+///
+/// 6,573 distinct taxi IDs (paper's count) with lognormal-like activity:
+/// most taxis drive a moderate number of trips, a head of fleet taxis drives
+/// many. The wide spread of counts yields a large |Le|, matching the paper's
+/// 33,308 eligible pairs regime. `sample_size` defaults far below the 9.68 GB
+/// original for laptop-scale runs; scale it up to stress generation cost.
+Histogram MakeChicagoTaxiLikeHistogram(Rng& rng,
+                                       size_t num_taxis = 6573,
+                                       size_t sample_size = 2'000'000);
+
+/// eyeWnder stand-in: visited URLs from an ad-detection browser add-on.
+///
+/// 11,479 distinct domains (paper's count) under a steep power law with a
+/// very long tail of rarely visited domains. The flat tail is what makes
+/// |Le| small (257 in the paper) despite the large distinct-token count.
+Histogram MakeEyeWnderLikeHistogram(Rng& rng,
+                                    size_t num_urls = 11479,
+                                    size_t sample_size = 1'200'000);
+
+/// eyeWnder stand-in as a full token sequence (needed by attacks/§VI).
+Dataset MakeEyeWnderLikeDataset(Rng& rng,
+                                size_t num_urls = 11479,
+                                size_t sample_size = 1'200'000);
+
+/// Adult census stand-in as a relational table.
+///
+/// Columns: `Age` (73 distinct values, census-like pyramid), `WorkClass`
+/// (9 categories, "Private" dominant), `Education` (16 categories),
+/// `HoursPerWeek`. Row count defaults to the UCI dataset's 48,842.
+TableDataset MakeAdultLikeTable(Rng& rng, size_t num_rows = 48842);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_DATAGEN_REAL_WORLD_H_

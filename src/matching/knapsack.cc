@@ -1,0 +1,25 @@
+#include "matching/knapsack.h"
+
+#include <algorithm>
+
+namespace freqywm {
+
+std::vector<size_t> SolveEquallyValuedKnapsack(
+    std::vector<KnapsackItem> items, int64_t capacity) {
+  std::sort(items.begin(), items.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.id < b.id;
+            });
+  std::vector<size_t> chosen;
+  int64_t used = 0;
+  for (const auto& item : items) {
+    if (item.weight < 0) continue;  // defensive: treat as unusable
+    if (used + item.weight > capacity) break;
+    used += item.weight;
+    chosen.push_back(item.id);
+  }
+  return chosen;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,35 @@
+#ifndef FREQYWM_MATCHING_KNAPSACK_H_
+#define FREQYWM_MATCHING_KNAPSACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace freqywm {
+
+/// An item of the equally-valued 0/1 knapsack (QKP) from §III-B2: every
+/// item is worth 1, only the weights differ.
+struct KnapsackItem {
+  /// Caller-defined identifier (FreqyWM stores the eligible-pair index).
+  size_t id = 0;
+  /// Non-negative cost of taking this item.
+  int64_t weight = 0;
+};
+
+/// Solves the equally-valued 0/1 knapsack exactly: picks the maximum number
+/// of items whose total weight does not exceed `capacity`.
+///
+/// Because all values are equal, sorting by ascending weight and taking a
+/// prefix is optimal (an exchange argument: any feasible set can be mapped
+/// to an ascending prefix of the same cardinality with no larger weight).
+/// This is the polynomial special case the paper relies on — the general
+/// 0/1 knapsack is NP-hard.
+///
+/// Ties are broken by ascending `id`, which makes selection deterministic.
+/// Returns the chosen item ids in selection order.
+std::vector<size_t> SolveEquallyValuedKnapsack(
+    std::vector<KnapsackItem> items, int64_t capacity);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_MATCHING_KNAPSACK_H_

@@ -1,0 +1,728 @@
+#include "matching/max_weight_matching.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace freqywm {
+namespace {
+
+/// State of one run of the blossom algorithm.
+///
+/// The implementation follows Galil's exposition ("Efficient algorithms for
+/// finding maximum matching in graphs", ACM CSUR 1986) in the concrete
+/// formulation popularized by van Rantwijk's reference implementation.
+/// Vertices are 0..n-1; blossom slots are n..2n-1. Edge endpoints are
+/// encoded as 2k / 2k+1 for edge k. Input weights are doubled internally so
+/// every dual update stays integral (delta3 divides a slack by two).
+class BlossomMatcher {
+ public:
+  BlossomMatcher(int num_vertices, const std::vector<WeightedEdge>& input,
+                 bool max_cardinality)
+      : n_(num_vertices), max_cardinality_(max_cardinality) {
+    edges_.reserve(input.size());
+    for (const auto& e : input) {
+      if (e.u == e.v) continue;  // self-loops never participate
+      assert(e.u >= 0 && e.u < n_ && e.v >= 0 && e.v < n_);
+      edges_.push_back(WeightedEdge{e.u, e.v, e.weight * 2});
+    }
+    m_ = static_cast<int>(edges_.size());
+
+    max_weight_ = 0;
+    for (const auto& e : edges_) max_weight_ = std::max(max_weight_, e.weight);
+
+    endpoint_.resize(2 * m_);
+    for (int k = 0; k < m_; ++k) {
+      endpoint_[2 * k] = edges_[k].u;
+      endpoint_[2 * k + 1] = edges_[k].v;
+    }
+    neighb_end_.assign(n_, {});
+    for (int k = 0; k < m_; ++k) {
+      neighb_end_[edges_[k].u].push_back(2 * k + 1);
+      neighb_end_[edges_[k].v].push_back(2 * k);
+    }
+
+    mate_.assign(n_, -1);
+    label_.assign(2 * n_, 0);
+    label_end_.assign(2 * n_, -1);
+    in_blossom_.resize(n_);
+    for (int v = 0; v < n_; ++v) in_blossom_[v] = v;
+    blossom_parent_.assign(2 * n_, -1);
+    blossom_childs_.assign(2 * n_, {});
+    blossom_base_.assign(2 * n_, -1);
+    for (int v = 0; v < n_; ++v) blossom_base_[v] = v;
+    blossom_endps_.assign(2 * n_, {});
+    best_edge_.assign(2 * n_, -1);
+    blossom_best_edges_.assign(2 * n_, {});
+    has_best_edges_.assign(2 * n_, false);
+    for (int b = 2 * n_ - 1; b >= n_; --b) unused_blossoms_.push_back(b);
+    dual_var_.assign(2 * n_, 0);
+    for (int v = 0; v < n_; ++v) dual_var_[v] = max_weight_;
+    allow_edge_.assign(m_, false);
+  }
+
+  std::vector<int> Run() {
+    for (int stage = 0; stage < n_; ++stage) {
+      std::fill(label_.begin(), label_.end(), 0);
+      std::fill(best_edge_.begin(), best_edge_.end(), -1);
+      for (int b = n_; b < 2 * n_; ++b) {
+        blossom_best_edges_[b].clear();
+        has_best_edges_[b] = false;
+      }
+      std::fill(allow_edge_.begin(), allow_edge_.end(), false);
+      queue_.clear();
+
+      for (int v = 0; v < n_; ++v) {
+        if (mate_[v] == -1 && label_[in_blossom_[v]] == 0) {
+          AssignLabel(v, 1, -1);
+        }
+      }
+
+      bool augmented = false;
+      while (true) {
+        while (!queue_.empty() && !augmented) {
+          int v = queue_.back();
+          queue_.pop_back();
+          assert(label_[in_blossom_[v]] == 1);
+
+          for (int p : neighb_end_[v]) {
+            int k = p / 2;
+            int w = endpoint_[p];
+            if (in_blossom_[v] == in_blossom_[w]) continue;
+            int64_t kslack = 0;
+            if (!allow_edge_[k]) {
+              kslack = Slack(k);
+              if (kslack <= 0) allow_edge_[k] = true;
+            }
+            if (allow_edge_[k]) {
+              if (label_[in_blossom_[w]] == 0) {
+                AssignLabel(w, 2, p ^ 1);
+              } else if (label_[in_blossom_[w]] == 1) {
+                int base = ScanBlossom(v, w);
+                if (base >= 0) {
+                  AddBlossom(base, k);
+                } else {
+                  AugmentMatching(k);
+                  augmented = true;
+                  break;
+                }
+              } else if (label_[w] == 0) {
+                assert(label_[in_blossom_[w]] == 2);
+                label_[w] = 2;
+                label_end_[w] = p ^ 1;
+              }
+            } else if (label_[in_blossom_[w]] == 1) {
+              int b = in_blossom_[v];
+              if (best_edge_[b] == -1 || kslack < Slack(best_edge_[b])) {
+                best_edge_[b] = k;
+              }
+            } else if (label_[w] == 0) {
+              if (best_edge_[w] == -1 || kslack < Slack(best_edge_[w])) {
+                best_edge_[w] = k;
+              }
+            }
+          }
+        }
+        if (augmented) break;
+
+        // No augmenting path under the current duals; compute the minimum
+        // delta over the four dual-update cases.
+        int delta_type = -1;
+        int64_t delta = 0;
+        int delta_edge = -1;
+        int delta_blossom = -1;
+
+        if (!max_cardinality_) {
+          delta_type = 1;
+          delta = std::numeric_limits<int64_t>::max();
+          for (int v = 0; v < n_; ++v) delta = std::min(delta, dual_var_[v]);
+          delta = std::max<int64_t>(delta, 0);
+        }
+        for (int v = 0; v < n_; ++v) {
+          if (label_[in_blossom_[v]] == 0 && best_edge_[v] != -1) {
+            int64_t d = Slack(best_edge_[v]);
+            if (delta_type == -1 || d < delta) {
+              delta = d;
+              delta_type = 2;
+              delta_edge = best_edge_[v];
+            }
+          }
+        }
+        for (int b = 0; b < 2 * n_; ++b) {
+          if (blossom_parent_[b] == -1 && label_[b] == 1 &&
+              best_edge_[b] != -1) {
+            int64_t kslack = Slack(best_edge_[b]);
+            assert(kslack % 2 == 0);
+            int64_t d = kslack / 2;
+            if (delta_type == -1 || d < delta) {
+              delta = d;
+              delta_type = 3;
+              delta_edge = best_edge_[b];
+            }
+          }
+        }
+        for (int b = n_; b < 2 * n_; ++b) {
+          if (blossom_base_[b] >= 0 && blossom_parent_[b] == -1 &&
+              label_[b] == 2 && (delta_type == -1 || dual_var_[b] < delta)) {
+            delta = dual_var_[b];
+            delta_type = 4;
+            delta_blossom = b;
+          }
+        }
+        if (delta_type == -1) {
+          // Max-cardinality mode with no slack anywhere: one final update.
+          assert(max_cardinality_);
+          delta_type = 1;
+          int64_t mn = std::numeric_limits<int64_t>::max();
+          for (int v = 0; v < n_; ++v) mn = std::min(mn, dual_var_[v]);
+          delta = std::max<int64_t>(0, mn);
+        }
+
+        for (int v = 0; v < n_; ++v) {
+          int lbl = label_[in_blossom_[v]];
+          if (lbl == 1) {
+            dual_var_[v] -= delta;
+          } else if (lbl == 2) {
+            dual_var_[v] += delta;
+          }
+        }
+        for (int b = n_; b < 2 * n_; ++b) {
+          if (blossom_base_[b] >= 0 && blossom_parent_[b] == -1) {
+            if (label_[b] == 1) {
+              dual_var_[b] += delta;
+            } else if (label_[b] == 2) {
+              dual_var_[b] -= delta;
+            }
+          }
+        }
+
+        if (delta_type == 1) {
+          break;  // optimum reached
+        } else if (delta_type == 2) {
+          allow_edge_[delta_edge] = true;
+          int i = edges_[delta_edge].u;
+          int j = edges_[delta_edge].v;
+          if (label_[in_blossom_[i]] == 0) std::swap(i, j);
+          assert(label_[in_blossom_[i]] == 1);
+          queue_.push_back(i);
+          (void)j;
+        } else if (delta_type == 3) {
+          allow_edge_[delta_edge] = true;
+          int i = edges_[delta_edge].u;
+          assert(label_[in_blossom_[i]] == 1);
+          queue_.push_back(i);
+        } else {
+          ExpandBlossom(delta_blossom, /*endstage=*/false);
+        }
+      }
+
+      if (!augmented) break;
+
+      // End of stage: expand S-blossoms whose dual hit zero.
+      for (int b = n_; b < 2 * n_; ++b) {
+        if (blossom_parent_[b] == -1 && blossom_base_[b] >= 0 &&
+            label_[b] == 1 && dual_var_[b] == 0) {
+          ExpandBlossom(b, /*endstage=*/true);
+        }
+      }
+    }
+
+#ifndef NDEBUG
+    VerifyOptimum();
+#endif
+
+    std::vector<int> result(n_, -1);
+    for (int v = 0; v < n_; ++v) {
+      if (mate_[v] >= 0) result[v] = endpoint_[mate_[v]];
+    }
+    return result;
+  }
+
+ private:
+  int64_t Slack(int k) const {
+    return dual_var_[edges_[k].u] + dual_var_[edges_[k].v] -
+           2 * edges_[k].weight;
+  }
+
+  void CollectLeaves(int b, std::vector<int>& out) const {
+    if (b < n_) {
+      out.push_back(b);
+      return;
+    }
+    for (int t : blossom_childs_[b]) CollectLeaves(t, out);
+  }
+
+  std::vector<int> BlossomLeaves(int b) const {
+    std::vector<int> out;
+    CollectLeaves(b, out);
+    return out;
+  }
+
+  void AssignLabel(int w, int t, int p) {
+    int b = in_blossom_[w];
+    assert(label_[w] == 0 && label_[b] == 0);
+    label_[w] = label_[b] = t;
+    label_end_[w] = label_end_[b] = p;
+    best_edge_[w] = best_edge_[b] = -1;
+    if (t == 1) {
+      for (int leaf : BlossomLeaves(b)) queue_.push_back(leaf);
+    } else if (t == 2) {
+      int base = blossom_base_[b];
+      assert(mate_[base] >= 0);
+      AssignLabel(endpoint_[mate_[base]], 1, mate_[base] ^ 1);
+    }
+  }
+
+  int ScanBlossom(int v, int w) {
+    std::vector<int> path;
+    int base = -1;
+    while (v != -1 || w != -1) {
+      int b = in_blossom_[v];
+      if (label_[b] & 4) {
+        base = blossom_base_[b];
+        break;
+      }
+      assert(label_[b] == 1);
+      path.push_back(b);
+      label_[b] = 5;
+      assert(label_end_[b] == mate_[blossom_base_[b]]);
+      if (label_end_[b] == -1) {
+        v = -1;
+      } else {
+        v = endpoint_[label_end_[b]];
+        b = in_blossom_[v];
+        assert(label_[b] == 2);
+        assert(label_end_[b] >= 0);
+        v = endpoint_[label_end_[b]];
+      }
+      if (w != -1) std::swap(v, w);
+    }
+    for (int b : path) label_[b] = 1;
+    return base;
+  }
+
+  void AddBlossom(int base, int k) {
+    int v = edges_[k].u;
+    int w = edges_[k].v;
+    int bb = in_blossom_[base];
+    int bv = in_blossom_[v];
+    int bw = in_blossom_[w];
+
+    assert(!unused_blossoms_.empty());
+    int b = unused_blossoms_.back();
+    unused_blossoms_.pop_back();
+    blossom_base_[b] = base;
+    blossom_parent_[b] = -1;
+    blossom_parent_[bb] = b;
+
+    std::vector<int>& path = blossom_childs_[b];
+    std::vector<int>& endps = blossom_endps_[b];
+    path.clear();
+    endps.clear();
+
+    while (bv != bb) {
+      blossom_parent_[bv] = b;
+      path.push_back(bv);
+      endps.push_back(label_end_[bv]);
+      assert(label_[bv] == 2 ||
+             (label_[bv] == 1 &&
+              label_end_[bv] == mate_[blossom_base_[bv]]));
+      assert(label_end_[bv] >= 0);
+      v = endpoint_[label_end_[bv]];
+      bv = in_blossom_[v];
+    }
+    path.push_back(bb);
+    std::reverse(path.begin(), path.end());
+    std::reverse(endps.begin(), endps.end());
+    endps.push_back(2 * k);
+
+    while (bw != bb) {
+      blossom_parent_[bw] = b;
+      path.push_back(bw);
+      endps.push_back(label_end_[bw] ^ 1);
+      assert(label_[bw] == 2 ||
+             (label_[bw] == 1 &&
+              label_end_[bw] == mate_[blossom_base_[bw]]));
+      assert(label_end_[bw] >= 0);
+      w = endpoint_[label_end_[bw]];
+      bw = in_blossom_[w];
+    }
+
+    assert(label_[bb] == 1);
+    label_[b] = 1;
+    label_end_[b] = label_end_[bb];
+    dual_var_[b] = 0;
+
+    for (int leaf : BlossomLeaves(b)) {
+      if (label_[in_blossom_[leaf]] == 2) queue_.push_back(leaf);
+      in_blossom_[leaf] = b;
+    }
+
+    // Compute the least-slack edges from the new blossom to every other
+    // S-blossom (used by delta3).
+    std::vector<int> best_edge_to(2 * n_, -1);
+    for (int child : path) {
+      std::vector<std::vector<int>> nblists;
+      if (!has_best_edges_[child]) {
+        for (int leaf : BlossomLeaves(child)) {
+          std::vector<int> lst;
+          lst.reserve(neighb_end_[leaf].size());
+          for (int p : neighb_end_[leaf]) lst.push_back(p / 2);
+          nblists.push_back(std::move(lst));
+        }
+      } else {
+        nblists.push_back(blossom_best_edges_[child]);
+      }
+      for (const auto& nblist : nblists) {
+        for (int ke : nblist) {
+          int i = edges_[ke].u;
+          int j = edges_[ke].v;
+          if (in_blossom_[j] == b) std::swap(i, j);
+          int bj = in_blossom_[j];
+          if (bj != b && label_[bj] == 1 &&
+              (best_edge_to[bj] == -1 ||
+               Slack(ke) < Slack(best_edge_to[bj]))) {
+            best_edge_to[bj] = ke;
+          }
+        }
+      }
+      blossom_best_edges_[child].clear();
+      has_best_edges_[child] = false;
+      best_edge_[child] = -1;
+    }
+    blossom_best_edges_[b].clear();
+    for (int ke : best_edge_to) {
+      if (ke != -1) blossom_best_edges_[b].push_back(ke);
+    }
+    has_best_edges_[b] = true;
+
+    best_edge_[b] = -1;
+    for (int ke : blossom_best_edges_[b]) {
+      if (best_edge_[b] == -1 || Slack(ke) < Slack(best_edge_[b])) {
+        best_edge_[b] = ke;
+      }
+    }
+  }
+
+  void ExpandBlossom(int b, bool endstage) {
+    for (int s : blossom_childs_[b]) {
+      blossom_parent_[s] = -1;
+      if (s < n_) {
+        in_blossom_[s] = s;
+      } else if (endstage && dual_var_[s] == 0) {
+        ExpandBlossom(s, endstage);
+      } else {
+        for (int leaf : BlossomLeaves(s)) in_blossom_[leaf] = s;
+      }
+    }
+
+    if (!endstage && label_[b] == 2) {
+      assert(label_end_[b] >= 0);
+      int entry_child = in_blossom_[endpoint_[label_end_[b] ^ 1]];
+      int j = 0;
+      const int len = static_cast<int>(blossom_childs_[b].size());
+      for (int idx = 0; idx < len; ++idx) {
+        if (blossom_childs_[b][idx] == entry_child) {
+          j = idx;
+          break;
+        }
+      }
+      int jstep, endptrick;
+      if (j & 1) {
+        j -= len;
+        jstep = 1;
+        endptrick = 0;
+      } else {
+        jstep = -1;
+        endptrick = 1;
+      }
+      auto child_at = [&](int idx) {
+        return blossom_childs_[b][(idx % len + len) % len];
+      };
+      auto endp_at = [&](int idx) {
+        return blossom_endps_[b][(idx % len + len) % len];
+      };
+
+      int p = label_end_[b];
+      while (j != 0) {
+        label_[endpoint_[p ^ 1]] = 0;
+        label_[endpoint_[endp_at(j - endptrick) ^ endptrick ^ 1]] = 0;
+        AssignLabel(endpoint_[p ^ 1], 2, p);
+        allow_edge_[endp_at(j - endptrick) / 2] = true;
+        j += jstep;
+        p = endp_at(j - endptrick) ^ endptrick;
+        allow_edge_[p / 2] = true;
+        j += jstep;
+      }
+      int bv = child_at(j);
+      label_[endpoint_[p ^ 1]] = label_[bv] = 2;
+      label_end_[endpoint_[p ^ 1]] = label_end_[bv] = p;
+      best_edge_[bv] = -1;
+      j += jstep;
+      while (child_at(j) != entry_child) {
+        bv = child_at(j);
+        if (label_[bv] == 1) {
+          j += jstep;
+          continue;
+        }
+        int reached = -1;
+        for (int leaf : BlossomLeaves(bv)) {
+          if (label_[leaf] != 0) {
+            reached = leaf;
+            break;
+          }
+        }
+        if (reached != -1) {
+          assert(label_[reached] == 2);
+          assert(in_blossom_[reached] == bv);
+          label_[reached] = 0;
+          label_[endpoint_[mate_[blossom_base_[bv]]]] = 0;
+          AssignLabel(reached, 2, label_end_[reached]);
+        }
+        j += jstep;
+      }
+    }
+
+    label_[b] = -1;
+    label_end_[b] = -1;
+    blossom_childs_[b].clear();
+    blossom_endps_[b].clear();
+    blossom_base_[b] = -1;
+    blossom_best_edges_[b].clear();
+    has_best_edges_[b] = false;
+    best_edge_[b] = -1;
+    unused_blossoms_.push_back(b);
+  }
+
+  void AugmentBlossom(int b, int v) {
+    int t = v;
+    while (blossom_parent_[t] != b) t = blossom_parent_[t];
+    if (t >= n_) AugmentBlossom(t, v);
+
+    const int len = static_cast<int>(blossom_childs_[b].size());
+    int i = 0;
+    for (int idx = 0; idx < len; ++idx) {
+      if (blossom_childs_[b][idx] == t) {
+        i = idx;
+        break;
+      }
+    }
+    int j = i;
+    int jstep, endptrick;
+    if (i & 1) {
+      j -= len;
+      jstep = 1;
+      endptrick = 0;
+    } else {
+      jstep = -1;
+      endptrick = 1;
+    }
+    auto child_at = [&](int idx) {
+      return blossom_childs_[b][(idx % len + len) % len];
+    };
+    auto endp_at = [&](int idx) {
+      return blossom_endps_[b][(idx % len + len) % len];
+    };
+
+    while (j != 0) {
+      j += jstep;
+      t = child_at(j);
+      int p = endp_at(j - endptrick) ^ endptrick;
+      if (t >= n_) AugmentBlossom(t, endpoint_[p]);
+      j += jstep;
+      t = child_at(j);
+      if (t >= n_) AugmentBlossom(t, endpoint_[p ^ 1]);
+      mate_[endpoint_[p]] = p ^ 1;
+      mate_[endpoint_[p ^ 1]] = p;
+    }
+
+    std::vector<int> new_childs, new_endps;
+    new_childs.reserve(len);
+    new_endps.reserve(len);
+    for (int idx = 0; idx < len; ++idx) {
+      new_childs.push_back(blossom_childs_[b][(i + idx) % len]);
+      new_endps.push_back(blossom_endps_[b][(i + idx) % len]);
+    }
+    blossom_childs_[b] = std::move(new_childs);
+    blossom_endps_[b] = std::move(new_endps);
+    blossom_base_[b] = blossom_base_[blossom_childs_[b][0]];
+    assert(blossom_base_[b] == v);
+  }
+
+  void AugmentMatching(int k) {
+    const int kv = edges_[k].u;
+    const int kw = edges_[k].v;
+    const int starts[2][2] = {{kv, 2 * k + 1}, {kw, 2 * k}};
+    for (const auto& start : starts) {
+      int s = start[0];
+      int p = start[1];
+      while (true) {
+        int bs = in_blossom_[s];
+        assert(label_[bs] == 1);
+        assert(label_end_[bs] == mate_[blossom_base_[bs]]);
+        if (bs >= n_) AugmentBlossom(bs, s);
+        mate_[s] = p;
+        if (label_end_[bs] == -1) break;
+        int t = endpoint_[label_end_[bs]];
+        int bt = in_blossom_[t];
+        assert(label_[bt] == 2);
+        assert(label_end_[bt] >= 0);
+        s = endpoint_[label_end_[bt]];
+        int j = endpoint_[label_end_[bt] ^ 1];
+        assert(blossom_base_[bt] == t);
+        if (bt >= n_) AugmentBlossom(bt, j);
+        mate_[j] = label_end_[bt];
+        p = label_end_[bt] ^ 1;
+      }
+    }
+  }
+
+#ifndef NDEBUG
+  /// Checks LP dual feasibility and complementary slackness — the standard
+  /// certificate that the produced matching is optimal.
+  void VerifyOptimum() const {
+    int64_t vdual_min = max_cardinality_ ? std::numeric_limits<int64_t>::min()
+                                         : 0;
+    for (int v = 0; v < n_; ++v) {
+      assert(dual_var_[v] >= vdual_min || mate_[v] >= 0);
+    }
+    for (int k = 0; k < m_; ++k) {
+      int64_t s = Slack(k);
+      // Slack must be non-negative except where blossom duals compensate;
+      // full verification mirrors van Rantwijk's verifyOptimum.
+      int i = edges_[k].u;
+      int j = edges_[k].v;
+      std::vector<int> iblossoms{i}, jblossoms{j};
+      while (blossom_parent_[iblossoms.back()] != -1) {
+        iblossoms.push_back(blossom_parent_[iblossoms.back()]);
+      }
+      while (blossom_parent_[jblossoms.back()] != -1) {
+        jblossoms.push_back(blossom_parent_[jblossoms.back()]);
+      }
+      int64_t extra = 0;
+      size_t a = 0;
+      // Common blossoms contribute 2 * z_b to the edge's dual sum.
+      while (a < iblossoms.size() && a < jblossoms.size()) {
+        size_t ri = iblossoms.size() - 1 - a;
+        size_t rj = jblossoms.size() - 1 - a;
+        if (iblossoms[ri] != jblossoms[rj]) break;
+        if (iblossoms[ri] >= n_) extra += 2 * dual_var_[iblossoms[ri]];
+        ++a;
+      }
+      s += extra;
+      assert(s >= 0);
+      if (mate_[i] >= 0 && mate_[i] / 2 == k) {
+        assert(mate_[i] / 2 == mate_[j] / 2);
+        assert(s == 0);
+      }
+    }
+  }
+#endif
+
+  int n_;
+  bool max_cardinality_;
+  std::vector<WeightedEdge> edges_;
+  int m_ = 0;
+  int64_t max_weight_ = 0;
+
+  std::vector<int> endpoint_;
+  std::vector<std::vector<int>> neighb_end_;
+  std::vector<int> mate_;
+  std::vector<int> label_;
+  std::vector<int> label_end_;
+  std::vector<int> in_blossom_;
+  std::vector<int> blossom_parent_;
+  std::vector<std::vector<int>> blossom_childs_;
+  std::vector<int> blossom_base_;
+  std::vector<std::vector<int>> blossom_endps_;
+  std::vector<int> best_edge_;
+  std::vector<std::vector<int>> blossom_best_edges_;
+  std::vector<char> has_best_edges_;
+  std::vector<int> unused_blossoms_;
+  std::vector<int64_t> dual_var_;
+  std::vector<char> allow_edge_;
+  std::vector<int> queue_;
+};
+
+}  // namespace
+
+std::vector<int> MaxWeightMatching(int num_vertices,
+                                   const std::vector<WeightedEdge>& edges,
+                                   bool max_cardinality) {
+  if (num_vertices <= 0) return {};
+  BlossomMatcher matcher(num_vertices, edges, max_cardinality);
+  return matcher.Run();
+}
+
+int64_t MatchingWeight(const std::vector<int>& mate,
+                       const std::vector<WeightedEdge>& edges) {
+  int64_t total = 0;
+  for (const auto& e : edges) {
+    if (e.u < static_cast<int>(mate.size()) && mate[e.u] == e.v &&
+        mate[e.v] == e.u && e.u < e.v) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+std::vector<int> GreedyMatching(int num_vertices,
+                                const std::vector<WeightedEdge>& edges) {
+  std::vector<size_t> order(edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (edges[a].weight != edges[b].weight) {
+      return edges[a].weight > edges[b].weight;
+    }
+    return a < b;
+  });
+  std::vector<int> mate(num_vertices, -1);
+  for (size_t idx : order) {
+    const auto& e = edges[idx];
+    if (e.u == e.v || e.weight < 0) continue;
+    if (mate[e.u] == -1 && mate[e.v] == -1) {
+      mate[e.u] = e.v;
+      mate[e.v] = e.u;
+    }
+  }
+  return mate;
+}
+
+namespace {
+
+void BruteForceRecurse(const std::vector<WeightedEdge>& edges, size_t idx,
+                       std::vector<int>& mate, int64_t weight,
+                       int64_t& best_weight, std::vector<int>& best_mate) {
+  if (idx == edges.size()) {
+    if (weight > best_weight) {
+      best_weight = weight;
+      best_mate = mate;
+    }
+    return;
+  }
+  // Skip edge idx.
+  BruteForceRecurse(edges, idx + 1, mate, weight, best_weight, best_mate);
+  // Take edge idx if both endpoints are free.
+  const auto& e = edges[idx];
+  if (e.u != e.v && mate[e.u] == -1 && mate[e.v] == -1) {
+    mate[e.u] = e.v;
+    mate[e.v] = e.u;
+    BruteForceRecurse(edges, idx + 1, mate, weight + e.weight, best_weight,
+                      best_mate);
+    mate[e.u] = -1;
+    mate[e.v] = -1;
+  }
+}
+
+}  // namespace
+
+std::vector<int> BruteForceMaxWeightMatching(
+    int num_vertices, const std::vector<WeightedEdge>& edges) {
+  std::vector<int> mate(num_vertices, -1);
+  std::vector<int> best_mate = mate;
+  int64_t best_weight = 0;
+  BruteForceRecurse(edges, 0, mate, 0, best_weight, best_mate);
+  return best_mate;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,94 @@
+#include "stats/decomposition.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace freqywm {
+
+SeasonalDecomposition DecomposeAdditive(const std::vector<double>& series,
+                                        size_t period) {
+  const size_t n = series.size();
+  assert(period >= 2);
+  assert(n >= 2 * period);
+
+  SeasonalDecomposition out;
+  out.trend.assign(n, 0.0);
+  out.seasonal.assign(n, 0.0);
+  out.residual.assign(n, 0.0);
+
+  // Centered moving average. For even periods the classical 2xMA applies
+  // half weight to the two extreme points of the window.
+  const size_t half = period / 2;
+  std::vector<char> defined(n, 0);
+  for (size_t t = half; t + half < n; ++t) {
+    double sum = 0.0;
+    if (period % 2 == 0) {
+      sum += 0.5 * series[t - half];
+      sum += 0.5 * series[t + half];
+      for (size_t j = t - half + 1; j < t + half; ++j) sum += series[j];
+      out.trend[t] = sum / static_cast<double>(period);
+    } else {
+      for (size_t j = t - half; j <= t + half; ++j) sum += series[j];
+      out.trend[t] = sum / static_cast<double>(period);
+    }
+    defined[t] = 1;
+  }
+  // Extend trend into the undefined edges.
+  size_t first_def = half;
+  size_t last_def = n - half - 1;
+  for (size_t t = 0; t < first_def; ++t) out.trend[t] = out.trend[first_def];
+  for (size_t t = last_def + 1; t < n; ++t) out.trend[t] = out.trend[last_def];
+
+  // Seasonal: mean of detrended values per phase, normalized to zero-sum.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<size_t> phase_count(period, 0);
+  for (size_t t = first_def; t <= last_def; ++t) {
+    phase_sum[t % period] += series[t] - out.trend[t];
+    ++phase_count[t % period];
+  }
+  std::vector<double> phase_mean(period, 0.0);
+  double grand = 0.0;
+  for (size_t ph = 0; ph < period; ++ph) {
+    phase_mean[ph] =
+        phase_count[ph] ? phase_sum[ph] / static_cast<double>(phase_count[ph])
+                        : 0.0;
+    grand += phase_mean[ph];
+  }
+  grand /= static_cast<double>(period);
+  for (auto& m : phase_mean) m -= grand;
+
+  for (size_t t = 0; t < n; ++t) {
+    out.seasonal[t] = phase_mean[t % period];
+    out.residual[t] = series[t] - out.trend[t] - out.seasonal[t];
+  }
+  return out;
+}
+
+double RootMeanSquaredDifference(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double m = Mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+}  // namespace freqywm

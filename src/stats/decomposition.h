@@ -1,0 +1,45 @@
+#ifndef FREQYWM_STATS_DECOMPOSITION_H_
+#define FREQYWM_STATS_DECOMPOSITION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace freqywm {
+
+/// Classical additive time-series decomposition: x_t = trend + seasonal +
+/// residual. Used for the §VI feature analysis (Figs. 6–8): the paper shows
+/// that 10 successive watermarks leave the trend, seasonality, and residual
+/// structure of the eyeWnder click-stream essentially unchanged.
+struct SeasonalDecomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> residual;
+};
+
+/// Decomposes `series` with seasonal period `period` (e.g. 24 for hourly
+/// data with daily seasonality, 7 for daily data with weekly seasonality).
+///
+/// Trend is a centered moving average of window `period` (with the usual
+/// 2x(period) average for even periods); seasonal components are the
+/// de-trended means per phase, normalized to sum to zero; residual is the
+/// remainder. Edges where the moving average is undefined get trend values
+/// extended from the nearest defined point.
+///
+/// Precondition: `period >= 2` and `series.size() >= 2 * period`.
+SeasonalDecomposition DecomposeAdditive(const std::vector<double>& series,
+                                        size_t period);
+
+/// Root mean squared difference between two equal-length series (0 for
+/// identical); the drift measure we report for the §VI figures.
+double RootMeanSquaredDifference(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// Mean of a series (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation of a series (0 for empty input).
+double StdDev(const std::vector<double>& values);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_STATS_DECOMPOSITION_H_

@@ -1,0 +1,69 @@
+#include "stats/poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+namespace freqywm {
+
+PoissonBinomial::PoissonBinomial(std::vector<double> probabilities) {
+  for (auto& p : probabilities) p = std::clamp(p, 0.0, 1.0);
+  n_ = probabilities.size();
+  mean_ = 0;
+  for (double p : probabilities) mean_ += p;
+
+  // DFT of the characteristic function (Hong 2013):
+  //   P(S = m) = 1/(n+1) * sum_{l=0}^{n} w^{-lm} * prod_j (1 + (w^l - 1) p_j)
+  // with w = exp(2*pi*i / (n+1)).
+  const size_t size = n_ + 1;
+  const std::complex<double> i_unit(0.0, 1.0);
+  const double omega = 2.0 * M_PI / static_cast<double>(size);
+
+  std::vector<std::complex<double>> xi(size);
+  for (size_t l = 0; l < size; ++l) {
+    std::complex<double> w_l =
+        std::exp(i_unit * (omega * static_cast<double>(l)));
+    std::complex<double> prod(1.0, 0.0);
+    for (double p : probabilities) {
+      prod *= (1.0 + (w_l - 1.0) * p);
+    }
+    xi[l] = prod;
+  }
+
+  pmf_.assign(size, 0.0);
+  for (size_t m = 0; m < size; ++m) {
+    std::complex<double> sum(0.0, 0.0);
+    for (size_t l = 0; l < size; ++l) {
+      std::complex<double> w_neg = std::exp(
+          -i_unit * (omega * static_cast<double>(l) * static_cast<double>(m)));
+      sum += w_neg * xi[l];
+    }
+    pmf_[m] = std::max(0.0, sum.real() / static_cast<double>(size));
+  }
+}
+
+double PoissonBinomial::Pmf(size_t m) const {
+  if (m >= pmf_.size()) return 0.0;
+  return pmf_[m];
+}
+
+double PoissonBinomial::Survival(size_t k) const {
+  if (k == 0) return 1.0;
+  double s = 0.0;
+  for (size_t m = k; m < pmf_.size(); ++m) s += pmf_[m];
+  return std::min(1.0, s);
+}
+
+double MarkovSurvivalBound(double mean, size_t k) {
+  if (k == 0) return 1.0;
+  return std::clamp(mean / static_cast<double>(k), 0.0, 1.0);
+}
+
+double PairFalsePositiveProbability(uint64_t t, uint64_t s) {
+  if (s == 0) return 1.0;
+  uint64_t passing = std::min(t + 1, s);
+  return static_cast<double>(passing) / static_cast<double>(s);
+}
+
+}  // namespace freqywm

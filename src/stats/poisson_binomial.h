@@ -1,0 +1,53 @@
+#ifndef FREQYWM_STATS_POISSON_BINOMIAL_H_
+#define FREQYWM_STATS_POISSON_BINOMIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace freqywm {
+
+/// The Poisson–Binomial distribution: the sum S_n of n independent Bernoulli
+/// trials with heterogeneous success probabilities p_1..p_n.
+///
+/// FreqyWM's false-positive analysis (§III-B4) models each stored pair's
+/// chance of *accidentally* satisfying `(f_i - f_j) mod s_ij <= t` on a
+/// non-watermarked dataset as a Bernoulli with p_m = (t + 1) / s_ij, and
+/// asks for the survival probability P(S_n >= k). The paper computes this
+/// via the Discrete Fourier Transform of the characteristic function; this
+/// class implements exactly that method (Fernández–Williams / Hong 2013).
+class PoissonBinomial {
+ public:
+  /// Builds the exact PMF for the given success probabilities.
+  /// Probabilities are clamped to [0, 1].
+  explicit PoissonBinomial(std::vector<double> probabilities);
+
+  /// P(S_n = m) for m in [0, n]; 0 outside.
+  double Pmf(size_t m) const;
+
+  /// P(S_n >= k) (the paper's acceptance probability for threshold k).
+  double Survival(size_t k) const;
+
+  /// E[S_n] = sum p_m.
+  double Mean() const { return mean_; }
+
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  double mean_;
+  std::vector<double> pmf_;
+};
+
+/// Markov's inequality upper bound used in the paper: P(S_n >= k) <= mu / k,
+/// clamped to [0, 1]. `k == 0` returns 1 (the event is certain).
+double MarkovSurvivalBound(double mean, size_t k);
+
+/// Convenience: the per-pair accidental-acceptance probability for detection
+/// threshold `t` under modulus `s` — the fraction of residues in [0, s)
+/// that pass `residue <= t`.
+double PairFalsePositiveProbability(uint64_t t, uint64_t s);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_STATS_POISSON_BINOMIAL_H_

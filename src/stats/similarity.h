@@ -1,0 +1,69 @@
+#ifndef FREQYWM_STATS_SIMILARITY_H_
+#define FREQYWM_STATS_SIMILARITY_H_
+
+#include <vector>
+
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Similarity metric selector for the budget constraint. The paper uses
+/// cosine in all experiments but notes any similarity works (§III fn. 2).
+enum class SimilarityMetric {
+  kCosine,
+  /// 1 - L1(a,b) / (|a|_1 + |b|_1), in [0, 1].
+  kNormalizedL1,
+  /// Jaccard-style min/max overlap: sum(min) / sum(max), in [0, 1].
+  kMinMaxRatio,
+};
+
+/// Cosine similarity of two non-negative vectors; 1.0 when both are zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Computes similarity between two histograms, aligning entries by token
+/// over the union of both token sets (absent tokens count as 0).
+double HistogramSimilarity(const Histogram& a, const Histogram& b,
+                           SimilarityMetric metric = SimilarityMetric::kCosine);
+
+/// Similarity expressed in percent (100 = identical), the unit used by the
+/// paper's budget `b` ("similarity at least (100 - b)%").
+double HistogramSimilarityPercent(
+    const Histogram& a, const Histogram& b,
+    SimilarityMetric metric = SimilarityMetric::kCosine);
+
+/// Incremental cosine tracker for the original histogram vs a mutated copy.
+///
+/// The QKP/greedy selection loop repeatedly asks "what is the similarity if
+/// I also apply this pair's deltas?". Recomputing the full dot product each
+/// time is O(n) per probe; this tracker answers in O(1) because each
+/// FreqyWM pair touches exactly two disjoint entries.
+class IncrementalCosine {
+ public:
+  /// Starts from `original` compared against itself (similarity 1).
+  explicit IncrementalCosine(const Histogram& original);
+
+  /// Similarity after the deltas applied so far.
+  double Similarity() const;
+  /// Similarity in percent.
+  double SimilarityPercent() const { return Similarity() * 100.0; }
+
+  /// Applies a signed delta to the mutated copy of the entry at `rank`.
+  void ApplyDelta(size_t rank, int64_t delta);
+
+  /// Similarity that *would* result from additionally applying `delta` at
+  /// `rank_i` and `delta_j` at `rank_j`, without committing.
+  double ProbePairDelta(size_t rank_i, int64_t delta_i, size_t rank_j,
+                        int64_t delta_j) const;
+
+ private:
+  std::vector<double> original_;
+  std::vector<double> current_;
+  double dot_ = 0;
+  double norm_orig_sq_ = 0;
+  double norm_cur_sq_ = 0;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_STATS_SIMILARITY_H_

@@ -1,0 +1,98 @@
+#include "analysis/multiwatermark.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "datagen/power_law.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(uint64_t seed = 42) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 150;
+  spec.sample_size = 200000;
+  spec.alpha = 0.5;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+GenerateOptions Options(uint64_t seed = 42) {
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = seed;
+  return o;
+}
+
+TEST(MultiWatermarkTest, TenLayersEmbed) {
+  auto r = ApplySuccessiveWatermarks(MakeHist(), 10, Options());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().layers_embedded, 10u);
+  EXPECT_EQ(r.value().layers.size(), 10u);
+  EXPECT_EQ(r.value().similarity_to_original.size(), 10u);
+}
+
+TEST(MultiWatermarkTest, CumulativeDistortionStaysTiny) {
+  // §VI headline: 10 watermarks with b=2 cost ~0.003%, not 20%.
+  Histogram original = MakeHist(1);
+  auto r = ApplySuccessiveWatermarks(original, 10, Options(1));
+  ASSERT_TRUE(r.ok());
+  double final_sim = r.value().similarity_to_original.back();
+  EXPECT_GT(final_sim, 99.5);
+}
+
+TEST(MultiWatermarkTest, EachLayerRemainsIndependentlyDetectable) {
+  Histogram original = MakeHist(2);
+  auto r = ApplySuccessiveWatermarks(original, 5, Options(2));
+  ASSERT_TRUE(r.ok());
+  DetectOptions d;
+  d.pair_threshold = 4;  // later layers perturb earlier ones slightly
+  d.min_pairs = 1;
+  for (const auto& layer : r.value().layers) {
+    DetectResult dr = DetectWatermark(r.value().final_histogram, layer, d);
+    EXPECT_TRUE(dr.accepted);
+    EXPECT_GT(dr.verified_fraction, 0.5);
+  }
+}
+
+TEST(MultiWatermarkTest, ChronologicalOrderIsRecoverable) {
+  // The provenance use case: the newest layer verifies perfectly at t=0,
+  // older layers degrade monotonically-ish — enough signal to order them.
+  Histogram original = MakeHist(3);
+  auto r = ApplySuccessiveWatermarks(original, 6, Options(3));
+  ASSERT_TRUE(r.ok());
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = 1;
+  DetectResult newest = DetectWatermark(r.value().final_histogram,
+                                        r.value().layers.back(), strict);
+  DetectResult oldest = DetectWatermark(r.value().final_histogram,
+                                        r.value().layers.front(), strict);
+  EXPECT_DOUBLE_EQ(newest.verified_fraction, 1.0);
+  EXPECT_LE(oldest.verified_fraction, newest.verified_fraction);
+}
+
+TEST(MultiWatermarkTest, SimilaritySeriesIsMonotoneNonIncreasing) {
+  auto r = ApplySuccessiveWatermarks(MakeHist(4), 8, Options(4));
+  ASSERT_TRUE(r.ok());
+  const auto& sims = r.value().similarity_to_original;
+  for (size_t i = 1; i < sims.size(); ++i) {
+    // Later layers can only add distortion (within numerical noise).
+    EXPECT_LE(sims[i], sims[i - 1] + 1e-6);
+  }
+}
+
+TEST(MultiWatermarkTest, ZeroLayersIsIdentity) {
+  Histogram original = MakeHist(5);
+  auto r = ApplySuccessiveWatermarks(original, 0, Options(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().layers_embedded, 0u);
+  EXPECT_NEAR(HistogramSimilarityPercent(original,
+                                         r.value().final_histogram),
+              100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,138 @@
+#include "analysis/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "attacks/destroy.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+WatermarkSecrets MakeSecrets(uint64_t seed) {
+  WatermarkSecrets s;
+  s.r = GenerateSecret(256, seed);
+  s.z = 131;
+  s.pairs = {{"tk" + std::to_string(seed), "tk_other"}};
+  return s;
+}
+
+TEST(RegistryTest, RegisterAndEnumerate) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("buyer-a", MakeSecrets(1)).ok());
+  ASSERT_TRUE(registry.Register("buyer-b", MakeSecrets(2)).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.records()[0].buyer_id, "buyer-a");
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndBadIds) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("buyer-a", MakeSecrets(1)).ok());
+  EXPECT_EQ(registry.Register("buyer-a", MakeSecrets(2)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("", MakeSecrets(3)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("two\nlines", MakeSecrets(4)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, SerializeDeserializeRoundTrip) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("acme analytics", MakeSecrets(1)).ok());
+  ASSERT_TRUE(registry.Register("hedge-fund-42", MakeSecrets(2)).ok());
+  auto parsed = FingerprintRegistry::Deserialize(registry.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().records()[0].buyer_id, "acme analytics");
+  EXPECT_EQ(parsed.value().records()[0].secrets,
+            registry.records()[0].secrets);
+}
+
+TEST(RegistryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(FingerprintRegistry::Deserialize("nope").ok());
+  EXPECT_FALSE(
+      FingerprintRegistry::Deserialize("freqywm-registry v1\nrecords x\n")
+          .ok());
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("a", MakeSecrets(1)).ok());
+  std::string text = registry.Serialize();
+  text.resize(text.size() / 2);  // truncate mid-secrets
+  EXPECT_FALSE(FingerprintRegistry::Deserialize(text).ok());
+}
+
+TEST(RegistryTest, TraceIdentifiesLeakingBuyer) {
+  Rng rng(5);
+  PowerLawSpec spec;
+  spec.num_tokens = 300;
+  spec.sample_size = 300000;
+  spec.alpha = 0.6;
+  Histogram master = GeneratePowerLawHistogram(spec, rng);
+
+  FingerprintRegistry registry;
+  std::vector<Histogram> delivered;
+  for (int buyer = 0; buyer < 3; ++buyer) {
+    GenerateOptions o;
+    o.budget_percent = 2.0;
+    o.modulus_bound = 67;
+    o.min_modulus = 16;
+    // Fingerprint hygiene: every pair must have been at least 12 steps
+    // from alignment in the master, so a foreign buyer's copy cannot pass
+    // the t = 5 trace below by proximity.
+    o.min_pair_cost = 12;
+    o.seed = 100 + static_cast<uint64_t>(buyer);
+    auto r = WatermarkGenerator(o).GenerateFromHistogram(master);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(registry
+                    .Register("buyer-" + std::to_string(buyer),
+                              r.value().report.secrets)
+                    .ok());
+    delivered.push_back(std::move(r.value().watermarked));
+  }
+
+  // Buyer 1 leaks a noise-disguised copy.
+  Rng pirate_rng(9);
+  Histogram pirated =
+      DestroyAttackPercentOfBoundary(delivered[1], 4.0, pirate_rng);
+
+  DetectOptions d;
+  d.pair_threshold = 5;
+  d.symmetric_residue = true;
+  d.min_pairs = std::max<size_t>(
+      1, registry.records()[1].secrets.pairs.size() / 2);
+  auto matches = registry.Trace(pirated, d);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].buyer_id, "buyer-1");
+}
+
+TEST(RegistryTest, TraceOnUnrelatedDataFindsNothing) {
+  Rng rng(6);
+  PowerLawSpec spec;
+  spec.num_tokens = 300;
+  spec.sample_size = 300000;
+  spec.alpha = 0.6;
+  Histogram master = GeneratePowerLawHistogram(spec, rng);
+
+  FingerprintRegistry registry;
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 67;
+  o.min_modulus = 16;
+  o.seed = 7;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(master);
+  ASSERT_TRUE(r.ok());
+  size_t pairs = r.value().report.secrets.pairs.size();
+  ASSERT_TRUE(registry.Register("only-buyer",
+                                std::move(r.value().report.secrets))
+                  .ok());
+
+  Rng rng2(8);
+  spec.alpha = 0.9;
+  Histogram unrelated = GeneratePowerLawHistogram(spec, rng2);
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = std::max<size_t>(1, pairs / 2);
+  EXPECT_TRUE(registry.Trace(unrelated, d).empty());
+}
+
+}  // namespace
+}  // namespace freqywm

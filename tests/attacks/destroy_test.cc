@@ -1,0 +1,161 @@
+#include "attacks/destroy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+#include "stats/rank.h"
+
+namespace freqywm {
+namespace {
+
+struct Fixture {
+  Histogram watermarked;
+  WatermarkSecrets secrets;
+  size_t chosen = 0;
+};
+
+Fixture MakeFixture(uint64_t seed = 42) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 400000;
+  spec.alpha = 0.5;
+  Histogram original = GeneratePowerLawHistogram(spec, rng);
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = seed;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  EXPECT_TRUE(r.ok());
+  return {std::move(r.value().watermarked),
+          std::move(r.value().report.secrets),
+          r.value().report.chosen_pairs};
+}
+
+TEST(DestroyWithinBoundariesTest, PreservesRanking) {
+  Fixture f = MakeFixture(1);
+  Rng rng(11);
+  Histogram attacked = DestroyAttackWithinBoundaries(f.watermarked, rng);
+  EXPECT_TRUE(attacked.IsSortedDescending());
+  RankComparison cmp = CompareRankings(f.watermarked, attacked);
+  EXPECT_GT(cmp.spearman, 0.999);
+}
+
+TEST(DestroyWithinBoundariesTest, ActuallyChangesFrequencies) {
+  Fixture f = MakeFixture(2);
+  Rng rng(12);
+  Histogram attacked = DestroyAttackWithinBoundaries(f.watermarked, rng);
+  size_t changed = 0;
+  for (const auto& e : f.watermarked.entries()) {
+    if (*attacked.CountOf(e.token) != e.count) ++changed;
+  }
+  EXPECT_GT(changed, f.watermarked.num_tokens() / 4);
+}
+
+TEST(DestroyWithinBoundariesTest, DegradesStrictDetectionButNotRelaxed) {
+  // Fig. 5: at t = 0 the random-within-boundary attack hurts; raising t
+  // restores detection.
+  Fixture f = MakeFixture(3);
+  Rng rng(13);
+  Histogram attacked = DestroyAttackWithinBoundaries(f.watermarked, rng);
+
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = 1;
+  DetectResult at_zero = DetectWatermark(attacked, f.secrets, strict);
+
+  DetectOptions relaxed = strict;
+  relaxed.pair_threshold = 10;
+  DetectResult at_ten = DetectWatermark(attacked, f.secrets, relaxed);
+
+  EXPECT_LT(at_zero.verified_fraction, 1.0);
+  EXPECT_GT(at_ten.verified_fraction, at_zero.verified_fraction);
+}
+
+TEST(DestroyPercentTest, OnePercentAttackIsWeakerThanFullBoundary) {
+  Fixture f = MakeFixture(4);
+  Rng rng1(14), rng2(14);
+  Histogram weak = DestroyAttackPercentOfBoundary(f.watermarked, 1.0, rng1);
+  Histogram strong = DestroyAttackWithinBoundaries(f.watermarked, rng2);
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = 1;
+  DetectResult weak_r = DetectWatermark(weak, f.secrets, d);
+  DetectResult strong_r = DetectWatermark(strong, f.secrets, d);
+  // The paper: ~90% of pairs survive the 1% attack at t=0 vs ~35% for the
+  // full-boundary attack.
+  EXPECT_GE(weak_r.verified_fraction, strong_r.verified_fraction);
+}
+
+TEST(DestroyPercentTest, PreservesRanking) {
+  Fixture f = MakeFixture(5);
+  Rng rng(15);
+  Histogram attacked =
+      DestroyAttackPercentOfBoundary(f.watermarked, 1.0, rng);
+  EXPECT_TRUE(attacked.IsSortedDescending());
+}
+
+TEST(DestroyPercentTest, ZeroPercentIsIdentity) {
+  Fixture f = MakeFixture(6);
+  Rng rng(16);
+  Histogram attacked =
+      DestroyAttackPercentOfBoundary(f.watermarked, 0.0, rng);
+  for (const auto& e : f.watermarked.entries()) {
+    EXPECT_EQ(attacked.CountOf(e.token), e.count);
+  }
+}
+
+TEST(DestroyReorderTest, ScramblesRanksAtHighNoise) {
+  Fixture f = MakeFixture(7);
+  Rng rng(17);
+  Histogram attacked =
+      DestroyAttackWithReordering(f.watermarked, 90.0, rng);
+  RankComparison cmp = CompareRankings(f.watermarked, attacked);
+  EXPECT_GT(cmp.changed, 0u);
+  EXPECT_LT(cmp.spearman, 0.999);
+}
+
+TEST(DestroyReorderTest, CountsStayPositive) {
+  Fixture f = MakeFixture(8);
+  Rng rng(18);
+  Histogram attacked =
+      DestroyAttackWithReordering(f.watermarked, 95.0, rng);
+  for (const auto& e : attacked.entries()) EXPECT_GE(e.count, 1u);
+}
+
+TEST(DestroyReorderTest, WatermarkSurvivesWithRelaxedT) {
+  // §V-C2: even 90% noise leaves a majority of pairs verifiable at t = 4?
+  // The paper reports 76%; we require a clear majority to assert the shape.
+  Fixture f = MakeFixture(9);
+  Rng rng(19);
+  Histogram attacked =
+      DestroyAttackWithReordering(f.watermarked, 90.0, rng);
+  DetectOptions d;
+  d.pair_threshold = 4;
+  d.min_pairs = 1;
+  DetectResult r = DetectWatermark(attacked, f.secrets, d);
+  EXPECT_GT(r.verified_fraction, 0.3);
+}
+
+TEST(DestroyReorderTest, MoreNoiseNeverHelpsDetection) {
+  Fixture f = MakeFixture(10);
+  DetectOptions d;
+  d.pair_threshold = 4;
+  d.min_pairs = 1;
+  double prev = 1.1;
+  for (double pct : {10.0, 50.0, 90.0}) {
+    Rng rng(20 + static_cast<uint64_t>(pct));
+    Histogram attacked =
+        DestroyAttackWithReordering(f.watermarked, pct, rng);
+    DetectResult r = DetectWatermark(attacked, f.secrets, d);
+    EXPECT_LE(r.verified_fraction, prev + 0.15)  // noisy but trending down
+        << "pct=" << pct;
+    prev = r.verified_fraction;
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

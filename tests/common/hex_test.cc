@@ -1,0 +1,50 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+TEST(HexTest, EncodeEmpty) {
+  EXPECT_EQ(HexEncode(std::vector<uint8_t>{}), "");
+}
+
+TEST(HexTest, EncodeKnownBytes) {
+  EXPECT_EQ(HexEncode({0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(HexEncode({0x00, 0x01, 0x0f, 0xff}), "00010fff");
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<uint8_t>(i));
+  auto decoded = HexDecode(HexEncode(bytes));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), bytes);
+}
+
+TEST(HexTest, DecodeUppercase) {
+  auto decoded = HexDecode("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeOddLengthFails) {
+  auto decoded = HexDecode("abc");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(HexTest, DecodeNonHexFails) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+  EXPECT_FALSE(HexDecode("a ").ok());
+  EXPECT_FALSE(HexDecode("0x").ok());
+}
+
+TEST(HexTest, DecodeEmptyIsEmpty) {
+  auto decoded = HexDecode("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotFound("missing token").message(), "missing token");
+}
+
+TEST(StatusTest, NonOkToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("z must be >= 2");
+  EXPECT_EQ(s.ToString(), "invalid_argument: z must be >= 2");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+}
+
+Status FailsThenPropagates(bool fail) {
+  FREQYWM_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::NotFound("fell through");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagatesOnlyErrors) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace freqywm

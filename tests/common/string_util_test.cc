@@ -1,0 +1,63 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoSeparatorYieldsWhole) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmpty) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "", "z"};
+  EXPECT_EQ(Split(Join(parts, '|'), '|'), parts);
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({}, ','), "");
+  EXPECT_EQ(Join({"only"}, ','), "only");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\r\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StripWhitespaceTest, KeepsInnerWhitespace) {
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(IsIntegerTest, AcceptsIntegers) {
+  EXPECT_TRUE(IsInteger("0"));
+  EXPECT_TRUE(IsInteger("12345"));
+  EXPECT_TRUE(IsInteger("-7"));
+  EXPECT_TRUE(IsInteger("+7"));
+}
+
+TEST(IsIntegerTest, RejectsNonIntegers) {
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("1.5"));
+  EXPECT_FALSE(IsInteger("12a"));
+  EXPECT_FALSE(IsInteger(" 1"));
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,70 @@
+#include "core/boundaries.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(std::vector<HistogramEntry> entries) {
+  auto h = Histogram::FromCounts(std::move(entries));
+  EXPECT_TRUE(h.ok());
+  return std::move(h).value();
+}
+
+TEST(BoundariesTest, PaperRunningExample) {
+  // Fig. 1 histogram: 1098, 980, 674, 537, 64, 53, 53.
+  Histogram h = MakeHist({{"youtube", 1098},
+                          {"facebook", 980},
+                          {"google", 674},
+                          {"instagram", 537},
+                          {"bbc", 64},
+                          {"cnn", 53},
+                          {"elpais", 53}});
+  auto b = ComputeBoundaries(h);
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0].upper, TokenBoundary::kUnbounded);
+  EXPECT_EQ(b[0].lower, 1098u - 980u);
+  EXPECT_EQ(b[1].upper, 1098u - 980u);
+  EXPECT_EQ(b[1].lower, 980u - 674u);
+  EXPECT_EQ(b[3].upper, 674u - 537u);
+  EXPECT_EQ(b[3].lower, 537u - 64u);
+  // cnn/elpais tie at 53: zero slack between them.
+  EXPECT_EQ(b[5].lower, 0u);
+  EXPECT_EQ(b[6].upper, 0u);
+  // Last token may drop to 1 instance.
+  EXPECT_EQ(b[6].lower, 52u);
+}
+
+TEST(BoundariesTest, SingleToken) {
+  Histogram h = MakeHist({{"only", 10}});
+  auto b = ComputeBoundaries(h);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].upper, TokenBoundary::kUnbounded);
+  EXPECT_EQ(b[0].lower, 9u);
+}
+
+TEST(BoundariesTest, UniformFrequenciesHaveZeroInteriorSlack) {
+  Histogram h = MakeHist({{"a", 7}, {"b", 7}, {"c", 7}});
+  auto b = ComputeBoundaries(h);
+  EXPECT_EQ(b[0].lower, 0u);
+  EXPECT_EQ(b[1].upper, 0u);
+  EXPECT_EQ(b[1].lower, 0u);
+  EXPECT_EQ(b[2].upper, 0u);
+  EXPECT_EQ(b[2].lower, 6u);  // last can still shed instances
+}
+
+TEST(BoundariesTest, AdjacentGapsAreShared) {
+  Histogram h = MakeHist({{"a", 100}, {"b", 90}, {"c", 40}});
+  auto b = ComputeBoundaries(h);
+  EXPECT_EQ(b[0].lower, b[1].upper);
+  EXPECT_EQ(b[1].lower, b[2].upper);
+}
+
+TEST(BoundariesTest, LastTokenWithCountOne) {
+  Histogram h = MakeHist({{"a", 5}, {"b", 1}});
+  auto b = ComputeBoundaries(h);
+  EXPECT_EQ(b[1].lower, 0u);  // cannot remove the only instance
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,238 @@
+#include "core/detect.h"
+
+#include <gtest/gtest.h>
+
+#include "core/watermark.h"
+#include "crypto/pair_modulus.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+struct WatermarkedFixture {
+  Histogram original;
+  Histogram watermarked;
+  WatermarkSecrets secrets;
+  size_t chosen = 0;
+};
+
+WatermarkedFixture MakeFixture(uint64_t seed = 42, uint64_t min_modulus = 2,
+                               uint64_t min_pair_cost = 1) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 150;
+  spec.sample_size = 200000;
+  spec.alpha = 0.7;
+  WatermarkedFixture f;
+  f.original = GeneratePowerLawHistogram(spec, rng);
+
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.min_modulus = min_modulus;
+  o.min_pair_cost = min_pair_cost;
+  o.seed = seed;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(f.original);
+  EXPECT_TRUE(r.ok());
+  f.watermarked = std::move(r.value().watermarked);
+  f.secrets = std::move(r.value().report.secrets);
+  f.chosen = r.value().report.chosen_pairs;
+  return f;
+}
+
+TEST(DetectTest, AcceptsWatermarkedData) {
+  WatermarkedFixture f = MakeFixture();
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = f.chosen;
+  DetectResult r = DetectWatermark(f.watermarked, f.secrets, d);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.pairs_found, f.chosen);
+  EXPECT_EQ(r.pairs_verified, f.chosen);
+}
+
+TEST(DetectTest, RejectsNonWatermarkedDataWithStrictThresholds) {
+  // With the hardened modulus floor, pre-aligned ("free") pairs are rare,
+  // so the owner's own original does not verify at t = 0. (Under the
+  // paper's bare s >= 2 rule, cheap pairs dominate selection and the
+  // original legitimately verifies many pairs — see the ablation bench.)
+  WatermarkedFixture f = MakeFixture(1, /*min_modulus=*/16);
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = std::max<size_t>(2, f.chosen / 2);
+  DetectResult r = DetectWatermark(f.original, f.secrets, d);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_LT(r.verified_fraction, 0.5);
+}
+
+TEST(DetectTest, FreePairsMakeOriginalPartiallyVerifyUnderPaperRule) {
+  // Documents the scheme property the min_pair_cost filter exists to
+  // counter: under the bare rule (min_pair_cost = 0) the cost-ascending
+  // selection favours pairs that already satisfied the modular relation,
+  // and those verify on the unmodified original.
+  WatermarkedFixture f = MakeFixture(1, /*min_modulus=*/2,
+                                     /*min_pair_cost=*/0);
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = 1;
+  DetectResult r = DetectWatermark(f.original, f.secrets, d);
+  EXPECT_GT(r.verified_fraction, 0.2);
+  EXPECT_LT(r.verified_fraction, 1.0);
+}
+
+TEST(DetectTest, WrongSecretFailsOnWatermarkedData) {
+  WatermarkedFixture f = MakeFixture(2);
+  WatermarkSecrets wrong = f.secrets;
+  wrong.r = GenerateSecret(256, 999);  // different key, same pairs and z
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = std::max<size_t>(2, f.chosen / 2);
+  DetectResult r = DetectWatermark(f.watermarked, wrong, d);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DetectTest, MissingTokensAreSkippedNotFailed) {
+  WatermarkedFixture f = MakeFixture(3);
+  // Remove one watermarked token entirely.
+  ASSERT_FALSE(f.secrets.pairs.empty());
+  Token victim = f.secrets.pairs[0].token_i;
+  std::vector<HistogramEntry> entries;
+  for (const auto& e : f.watermarked.entries()) {
+    if (e.token != victim) entries.push_back(e);
+  }
+  auto reduced = Histogram::FromCounts(std::move(entries));
+  ASSERT_TRUE(reduced.ok());
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = 1;
+  DetectResult r = DetectWatermark(reduced.value(), f.secrets, d);
+  EXPECT_EQ(r.pairs_found, f.chosen - 1);
+  EXPECT_EQ(r.pairs_verified, f.chosen - 1);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(DetectTest, ThresholdTToleratesSmallPerturbations) {
+  WatermarkedFixture f = MakeFixture(4);
+  // Nudge one token of a pair whose modulus exceeds the perturbation so
+  // the residue genuinely becomes 2 (a pair with s = 2 would wrap back
+  // to 0 and hide the perturbation).
+  PairModulus pm(f.secrets.r, f.secrets.z);
+  const SecretPair* victim = nullptr;
+  for (const auto& pair : f.secrets.pairs) {
+    if (pm.Compute(pair.token_i, pair.token_j) > 4) {
+      victim = &pair;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "no pair with modulus > 4 selected";
+  Histogram perturbed = f.watermarked;
+  ASSERT_TRUE(perturbed.AddDelta(victim->token_i, +2).ok());
+
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = f.chosen;
+  EXPECT_FALSE(DetectWatermark(perturbed, f.secrets, strict).accepted);
+
+  DetectOptions relaxed = strict;
+  relaxed.pair_threshold = 2;
+  EXPECT_TRUE(DetectWatermark(perturbed, f.secrets, relaxed).accepted);
+}
+
+TEST(DetectTest, SymmetricResidueCatchesDownwardPerturbation) {
+  WatermarkedFixture f = MakeFixture(5);
+  // Perturb downward: residue becomes s - 1 which one-sided t=1 misses.
+  // The victim pair needs s > 3 so that s - 1 > t.
+  PairModulus pm(f.secrets.r, f.secrets.z);
+  const SecretPair* victim = nullptr;
+  for (const auto& pair : f.secrets.pairs) {
+    if (pm.Compute(pair.token_i, pair.token_j) > 3) {
+      victim = &pair;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  Histogram perturbed = f.watermarked;
+  ASSERT_TRUE(perturbed.AddDelta(victim->token_i, -1).ok());
+
+  DetectOptions one_sided;
+  one_sided.pair_threshold = 1;
+  one_sided.min_pairs = f.chosen;
+  DetectResult r1 = DetectWatermark(perturbed, f.secrets, one_sided);
+  EXPECT_FALSE(r1.accepted);
+
+  DetectOptions symmetric = one_sided;
+  symmetric.symmetric_residue = true;
+  DetectResult r2 = DetectWatermark(perturbed, f.secrets, symmetric);
+  EXPECT_TRUE(r2.accepted);
+}
+
+TEST(DetectTest, KThresholdControlsAcceptance) {
+  WatermarkedFixture f = MakeFixture(6);
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = f.chosen + 1;  // more than exist
+  EXPECT_FALSE(DetectWatermark(f.watermarked, f.secrets, d).accepted);
+  d.min_pairs = f.chosen;
+  EXPECT_TRUE(DetectWatermark(f.watermarked, f.secrets, d).accepted);
+}
+
+TEST(DetectTest, EmptySecretsNeverAccept) {
+  WatermarkedFixture f = MakeFixture(7);
+  WatermarkSecrets empty;
+  empty.r = GenerateSecret(256, 1);
+  empty.z = 131;
+  DetectOptions d;
+  DetectResult r = DetectWatermark(f.watermarked, empty, d);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.pairs_found, 0u);
+}
+
+TEST(DetectTest, RescaleFactorRecoversScaledCounts) {
+  WatermarkedFixture f = MakeFixture(8);
+  // Emulate a 50% subsample exactly: halve every count (even counts only,
+  // to keep the math exact).
+  Histogram halved = f.watermarked;
+  bool all_even = true;
+  for (const auto& e : f.watermarked.entries()) {
+    if (e.count % 2 != 0) {
+      all_even = false;
+      ASSERT_TRUE(halved.SetCount(e.token, (e.count + 1) / 2).ok());
+    } else {
+      ASSERT_TRUE(halved.SetCount(e.token, e.count / 2).ok());
+    }
+  }
+  DetectOptions d;
+  d.pair_threshold = all_even ? 0 : 2;
+  d.min_pairs = std::max<size_t>(1, f.chosen / 2);
+  d.rescale_factor = 2.0;
+  DetectResult r = DetectWatermark(halved, f.secrets, d);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(DetectTest, DatasetOverloadMatchesHistogramOverload) {
+  // Small end-to-end check of the convenience overload.
+  Rng rng(9);
+  PowerLawSpec spec;
+  spec.num_tokens = 40;
+  spec.sample_size = 20000;
+  spec.alpha = 0.8;
+  Dataset data = GeneratePowerLawDataset(spec, rng);
+  GenerateOptions o;
+  o.seed = 11;
+  o.modulus_bound = 131;
+  auto r = WatermarkGenerator(o).Generate(data);
+  ASSERT_TRUE(r.ok());
+  DetectOptions d;
+  d.min_pairs = 1;
+  DetectResult via_dataset =
+      DetectWatermark(r.value().watermarked, r.value().report.secrets, d);
+  DetectResult via_hist = DetectWatermark(
+      Histogram::FromDataset(r.value().watermarked),
+      r.value().report.secrets, d);
+  EXPECT_EQ(via_dataset.pairs_verified, via_hist.pairs_verified);
+  EXPECT_EQ(via_dataset.accepted, via_hist.accepted);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,166 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+struct Fixture {
+  Histogram watermarked;
+  WatermarkSecrets secrets;
+  size_t chosen = 0;
+};
+
+Fixture MakeFixture(uint64_t seed = 42) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 300000;
+  spec.alpha = 0.6;
+  Histogram original = GeneratePowerLawHistogram(spec, rng);
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = seed;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  EXPECT_TRUE(r.ok());
+  return {std::move(r.value().watermarked),
+          std::move(r.value().report.secrets),
+          r.value().report.chosen_pairs};
+}
+
+TEST(RefreshTest, CleanWatermarkIsAllIntact) {
+  Fixture f = MakeFixture(1);
+  auto r = RefreshWatermark(f.watermarked, f.secrets, RefreshOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().report.pairs_intact, f.chosen);
+  EXPECT_EQ(r.value().report.pairs_repaired, 0u);
+  EXPECT_EQ(r.value().report.total_churn, 0u);
+}
+
+Histogram Drift(const Histogram& h, uint64_t seed, double fraction) {
+  // Organic growth: every token gains Poisson-ish increments proportional
+  // to its popularity.
+  Rng rng(seed);
+  Histogram out = h;
+  for (const auto& e : h.entries()) {
+    uint64_t extra = rng.UniformU64(
+        1 + static_cast<uint64_t>(static_cast<double>(e.count) * fraction));
+    (void)out.AddDelta(e.token, static_cast<int64_t>(extra));
+  }
+  return out;
+}
+
+TEST(RefreshTest, RepairsDriftedPairsAndRestoresDetection) {
+  Fixture f = MakeFixture(2);
+  Histogram drifted = Drift(f.watermarked, 7, 0.01);
+
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = f.chosen;
+  EXPECT_FALSE(DetectWatermark(drifted, f.secrets, strict).accepted);
+
+  auto r = RefreshWatermark(drifted, f.secrets, RefreshOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().report.pairs_repaired, 0u);
+
+  // Every surviving pair verifies strictly on the refreshed histogram.
+  DetectOptions after;
+  after.pair_threshold = 0;
+  after.min_pairs = r.value().secrets.pairs.size();
+  DetectResult dr =
+      DetectWatermark(r.value().refreshed, r.value().secrets, after);
+  EXPECT_TRUE(dr.accepted);
+  EXPECT_EQ(dr.pairs_verified, r.value().secrets.pairs.size());
+}
+
+TEST(RefreshTest, PreservesRankingOfDriftedData) {
+  Fixture f = MakeFixture(3);
+  Histogram drifted = Drift(f.watermarked, 8, 0.02);
+  auto r = RefreshWatermark(drifted, f.secrets, RefreshOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().refreshed.IsSortedDescending());
+}
+
+TEST(RefreshTest, DroppedTokensAreRemovedFromSecrets) {
+  Fixture f = MakeFixture(4);
+  ASSERT_GE(f.secrets.pairs.size(), 2u);
+  // Delete one watermarked token outright.
+  Token victim = f.secrets.pairs[0].token_i;
+  std::vector<HistogramEntry> entries;
+  for (const auto& e : f.watermarked.entries()) {
+    if (e.token != victim) entries.push_back(e);
+  }
+  auto reduced = Histogram::FromCounts(std::move(entries));
+  ASSERT_TRUE(reduced.ok());
+
+  auto r = RefreshWatermark(reduced.value(), f.secrets, RefreshOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().report.pairs_dropped, 1u);
+  for (const auto& pair : r.value().secrets.pairs) {
+    EXPECT_NE(pair.token_i, victim);
+    EXPECT_NE(pair.token_j, victim);
+  }
+}
+
+TEST(RefreshTest, ChurnBudgetZeroRepairsNothing) {
+  Fixture f = MakeFixture(5);
+  Histogram drifted = Drift(f.watermarked, 9, 0.02);
+  RefreshOptions o;
+  o.max_churn_percent = 0.0;
+  auto r = RefreshWatermark(drifted, f.secrets, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().report.pairs_repaired, 0u);
+  EXPECT_EQ(r.value().report.total_churn, 0u);
+}
+
+TEST(RefreshTest, RejectsMalformedInputs) {
+  Fixture f = MakeFixture(6);
+  WatermarkSecrets bad = f.secrets;
+  bad.z = 1;
+  EXPECT_FALSE(RefreshWatermark(f.watermarked, bad, RefreshOptions()).ok());
+  RefreshOptions bad_opts;
+  bad_opts.max_churn_percent = 200;
+  EXPECT_FALSE(
+      RefreshWatermark(f.watermarked, f.secrets, bad_opts).ok());
+}
+
+TEST(RefreshTest, SecretKeyAndModulusAreCarriedOver) {
+  Fixture f = MakeFixture(7);
+  auto r = RefreshWatermark(f.watermarked, f.secrets, RefreshOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().secrets.r, f.secrets.r);
+  EXPECT_EQ(r.value().secrets.z, f.secrets.z);
+}
+
+TEST(RefreshTest, RepairedWatermarkSurvivesRepeatedDriftCycles) {
+  // Production lifecycle: drift -> refresh -> drift -> refresh. The pair
+  // list may shrink but never grows, and detection always recovers.
+  Fixture f = MakeFixture(8);
+  Histogram current = f.watermarked;
+  WatermarkSecrets secrets = f.secrets;
+  size_t prev_pairs = secrets.pairs.size();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    current = Drift(current, 100 + static_cast<uint64_t>(cycle), 0.01);
+    auto r = RefreshWatermark(current, secrets, RefreshOptions());
+    ASSERT_TRUE(r.ok());
+    current = r.value().refreshed;
+    secrets = r.value().secrets;
+    EXPECT_LE(secrets.pairs.size(), prev_pairs);
+    prev_pairs = secrets.pairs.size();
+
+    DetectOptions d;
+    d.pair_threshold = 0;
+    d.min_pairs = secrets.pairs.size();
+    EXPECT_TRUE(DetectWatermark(current, secrets, d).accepted)
+        << "cycle " << cycle;
+  }
+  EXPECT_GT(prev_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,91 @@
+#include "core/multidim.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/real_world.h"
+
+namespace freqywm {
+namespace {
+
+GenerateOptions Options(uint64_t seed = 42) {
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = seed;
+  return o;
+}
+
+TEST(MultidimTest, WatermarkSingleAttributeAge) {
+  Rng rng(1);
+  TableDataset table = MakeAdultLikeTable(rng, 20000);
+  auto r = WatermarkTable(table, {"Age"}, Options());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r.value().report.chosen_pairs, 0u);
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = r.value().report.chosen_pairs;
+  auto dr = DetectTableWatermark(r.value().watermarked, {"Age"},
+                                 r.value().report.secrets, d);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_TRUE(dr.value().accepted);
+}
+
+TEST(MultidimTest, WatermarkCompositeToken) {
+  // The §IV-C experiment: token = [Age, WorkClass].
+  Rng rng(2);
+  TableDataset table = MakeAdultLikeTable(rng, 30000);
+  auto r = WatermarkTable(table, {"Age", "WorkClass"}, Options(7));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r.value().report.chosen_pairs, 0u);
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = r.value().report.chosen_pairs;
+  auto dr = DetectTableWatermark(r.value().watermarked, {"Age", "WorkClass"},
+                                 r.value().report.secrets, d);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_TRUE(dr.value().accepted);
+}
+
+TEST(MultidimTest, AddedRowsCopyDonorAttributes) {
+  Rng rng(3);
+  TableDataset table = MakeAdultLikeTable(rng, 10000);
+
+  // Record the set of (Age, WorkClass, Education) combos before.
+  std::set<std::string> combos_before;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    combos_before.insert(table.row(i)[0] + "|" + table.row(i)[1] + "|" +
+                         table.row(i)[2]);
+  }
+
+  auto r = WatermarkTable(table, {"Age"}, Options(11));
+  ASSERT_TRUE(r.ok());
+  // Every row in the output must be a combo that existed before: additions
+  // replicate donors, never invent attribute values.
+  for (size_t i = 0; i < r.value().watermarked.num_rows(); ++i) {
+    const auto& row = r.value().watermarked.row(i);
+    EXPECT_TRUE(combos_before.count(row[0] + "|" + row[1] + "|" + row[2]))
+        << "invented row at " << i;
+  }
+}
+
+TEST(MultidimTest, UnknownColumnFails) {
+  Rng rng(4);
+  TableDataset table = MakeAdultLikeTable(rng, 1000);
+  EXPECT_FALSE(WatermarkTable(table, {"Ghost"}, Options()).ok());
+}
+
+TEST(MultidimTest, RowCountChangesOnlyByChurn) {
+  Rng rng(5);
+  TableDataset table = MakeAdultLikeTable(rng, 15000);
+  auto r = WatermarkTable(table, {"Age"}, Options(13));
+  ASSERT_TRUE(r.ok());
+  size_t diff = r.value().watermarked.num_rows() > table.num_rows()
+                    ? r.value().watermarked.num_rows() - table.num_rows()
+                    : table.num_rows() - r.value().watermarked.num_rows();
+  EXPECT_LE(diff, r.value().report.total_churn);
+}
+
+}  // namespace
+}  // namespace freqywm

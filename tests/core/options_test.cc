@@ -1,0 +1,128 @@
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eligible.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(uint64_t seed = 42) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 150;
+  spec.sample_size = 200000;
+  spec.alpha = 0.6;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+TEST(MinModulusTest, FiltersEligiblePairsMonotonically) {
+  Histogram h = MakeHist(1);
+  PairModulus pm(GenerateSecret(256, 2), 131);
+  size_t prev = SIZE_MAX;
+  for (uint64_t mm : {2ull, 8ull, 16ull, 32ull, 64ull}) {
+    auto eligible =
+        BuildEligiblePairs(h, pm, EligibilityRule::kPaper, mm);
+    EXPECT_LE(eligible.size(), prev) << "mm=" << mm;
+    for (const auto& p : eligible) EXPECT_GE(p.s, mm);
+    prev = eligible.size();
+  }
+}
+
+TEST(MinPairCostTest, ExcludesFreePairs) {
+  Histogram h = MakeHist(2);
+  PairModulus pm(GenerateSecret(256, 3), 131);
+  auto all = BuildEligiblePairs(h, pm, EligibilityRule::kPaper, 2, 0);
+  auto costly = BuildEligiblePairs(h, pm, EligibilityRule::kPaper, 2, 1);
+  size_t free_pairs = 0;
+  for (const auto& p : all) {
+    if (p.cost == 0) ++free_pairs;
+  }
+  EXPECT_EQ(all.size() - free_pairs, costly.size());
+  for (const auto& p : costly) EXPECT_GE(p.cost, 1u);
+}
+
+TEST(MinPairCostTest, HigherFloorsShrinkTheList) {
+  Histogram h = MakeHist(3);
+  PairModulus pm(GenerateSecret(256, 4), 131);
+  size_t prev = SIZE_MAX;
+  for (uint64_t cost : {0ull, 1ull, 4ull, 16ull}) {
+    auto eligible =
+        BuildEligiblePairs(h, pm, EligibilityRule::kPaper, 2, cost);
+    EXPECT_LE(eligible.size(), prev);
+    prev = eligible.size();
+  }
+}
+
+TEST(BudgetModeTest, AdditiveChurnCapsTotalCost) {
+  Histogram h = MakeHist(4);
+  GenerateOptions o;
+  o.budget_percent = 0.001;  // capacity = 0.001% of 200k rows = 2 tokens
+  o.modulus_bound = 131;
+  o.budget_mode = BudgetMode::kAdditiveChurn;
+  o.seed = 5;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(h);
+  if (r.ok()) {
+    EXPECT_LE(r.value().report.total_churn, 2u);
+  } else {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(BudgetModeTest, AdditiveModeSelectsFewerOrEqualPairsThanSimilarity) {
+  Histogram h = MakeHist(5);
+  GenerateOptions similarity;
+  similarity.budget_percent = 0.05;
+  similarity.modulus_bound = 131;
+  similarity.seed = 6;
+  GenerateOptions additive = similarity;
+  additive.budget_mode = BudgetMode::kAdditiveChurn;
+  auto rs = WatermarkGenerator(similarity).GenerateFromHistogram(h);
+  auto ra = WatermarkGenerator(additive).GenerateFromHistogram(h);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(ra.ok());
+  // At a tight budget the additive cap binds first: cosine barely moves,
+  // so the similarity mode admits (weakly) more pairs.
+  EXPECT_LE(ra.value().report.chosen_pairs, rs.value().report.chosen_pairs);
+  // And the additive run respects the cap exactly.
+  uint64_t cap = static_cast<uint64_t>(0.05 / 100.0 *
+                                       static_cast<double>(h.total_count()));
+  EXPECT_LE(ra.value().report.total_churn, cap);
+}
+
+TEST(OptionsValidationTest, MinModulusMustBeBelowZ) {
+  Histogram h = MakeHist(6);
+  GenerateOptions o;
+  o.modulus_bound = 131;
+  o.min_modulus = 131;
+  o.seed = 7;
+  auto r = WatermarkGenerator(o).GenerateFromHistogram(h);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HardenedProfileTest, SelectsFewerButStrongerPairs) {
+  Histogram h = MakeHist(7);
+  GenerateOptions paper;
+  paper.modulus_bound = 131;
+  paper.seed = 8;
+  GenerateOptions hardened = paper;
+  hardened.min_modulus = 16;
+  auto rp = WatermarkGenerator(paper).GenerateFromHistogram(h);
+  auto rh = WatermarkGenerator(hardened).GenerateFromHistogram(h);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rh.ok());
+  EXPECT_LT(rh.value().report.chosen_pairs,
+            rp.value().report.chosen_pairs);
+  // Stronger evidence: every hardened pair has modulus >= 16, so a chance
+  // match at t = 0 has probability <= 1/16 per pair.
+  PairModulus pm(rh.value().report.secrets.r, rh.value().report.secrets.z);
+  for (const auto& pair : rh.value().report.secrets.pairs) {
+    EXPECT_GE(pm.Compute(pair.token_i, pair.token_j), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

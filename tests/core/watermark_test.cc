@@ -1,0 +1,273 @@
+#include "core/watermark.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "crypto/pair_modulus.h"
+#include "datagen/power_law.h"
+#include "stats/rank.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeSkewedHistogram(uint64_t seed, size_t tokens = 150,
+                              size_t samples = 200000, double alpha = 0.7) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = alpha;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+GenerateOptions DefaultOptions(uint64_t seed = 42) {
+  GenerateOptions o;
+  o.budget_percent = 2.0;
+  o.modulus_bound = 131;
+  o.seed = seed;
+  return o;
+}
+
+TEST(WatermarkGeneratorTest, RejectsBadOptions) {
+  Histogram h = MakeSkewedHistogram(1);
+  {
+    GenerateOptions o = DefaultOptions();
+    o.modulus_bound = 1;
+    EXPECT_EQ(WatermarkGenerator(o).GenerateFromHistogram(h).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GenerateOptions o = DefaultOptions();
+    o.budget_percent = 101;
+    EXPECT_EQ(WatermarkGenerator(o).GenerateFromHistogram(h).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GenerateOptions o = DefaultOptions();
+    o.lambda_bits = 4;
+    EXPECT_EQ(WatermarkGenerator(o).GenerateFromHistogram(h).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WatermarkGeneratorTest, RejectsTinyHistogram) {
+  auto h = Histogram::FromCounts({{"only", 5}});
+  ASSERT_TRUE(h.ok());
+  WatermarkGenerator gen(DefaultOptions());
+  EXPECT_EQ(gen.GenerateFromHistogram(h.value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WatermarkGeneratorTest, UniformDataIsResourceExhausted) {
+  // The paper's inapplicability case: no frequency variation.
+  std::vector<HistogramEntry> entries;
+  for (int i = 0; i < 50; ++i) {
+    entries.push_back({"t" + std::to_string(i), 1000});
+  }
+  auto h = Histogram::FromCounts(std::move(entries));
+  ASSERT_TRUE(h.ok());
+  WatermarkGenerator gen(DefaultOptions());
+  auto r = gen.GenerateFromHistogram(h.value());
+  // Either nothing eligible (ResourceExhausted) or only free pairs chosen.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  } else {
+    EXPECT_DOUBLE_EQ(r.value().report.similarity_percent, 100.0);
+  }
+}
+
+TEST(WatermarkGeneratorTest, EmbedsDetectableWatermark) {
+  Histogram h = MakeSkewedHistogram(2);
+  WatermarkGenerator gen(DefaultOptions());
+  auto r = gen.GenerateFromHistogram(h);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const auto& result = r.value();
+  EXPECT_GT(result.report.chosen_pairs, 0u);
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = result.report.chosen_pairs;  // demand every pair verifies
+  DetectResult dr =
+      DetectWatermark(result.watermarked, result.report.secrets, d);
+  EXPECT_TRUE(dr.accepted);
+  EXPECT_EQ(dr.pairs_verified, result.report.chosen_pairs);
+  EXPECT_DOUBLE_EQ(dr.verified_fraction, 1.0);
+}
+
+TEST(WatermarkGeneratorTest, RankingConstraintHolds) {
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    Histogram h = MakeSkewedHistogram(seed);
+    WatermarkGenerator gen(DefaultOptions(seed));
+    auto r = gen.GenerateFromHistogram(h);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().watermarked.IsSortedDescending());
+    RankComparison cmp = CompareRankings(h, r.value().watermarked);
+    // FreqyWM preserves every rank (ties may legitimately reorder under
+    // resorting, so compare via Spearman on counts).
+    EXPECT_GT(cmp.spearman, 0.9999);
+  }
+}
+
+TEST(WatermarkGeneratorTest, SimilarityConstraintHolds) {
+  Histogram h = MakeSkewedHistogram(6);
+  GenerateOptions o = DefaultOptions();
+  o.budget_percent = 0.5;
+  WatermarkGenerator gen(o);
+  auto r = gen.GenerateFromHistogram(h);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().report.similarity_percent, 99.5);
+  EXPECT_NEAR(
+      HistogramSimilarityPercent(h, r.value().watermarked),
+      r.value().report.similarity_percent, 1e-9);
+}
+
+TEST(WatermarkGeneratorTest, EveryStoredPairSatisfiesEmbeddingRule) {
+  Histogram h = MakeSkewedHistogram(7);
+  WatermarkGenerator gen(DefaultOptions());
+  auto r = gen.GenerateFromHistogram(h);
+  ASSERT_TRUE(r.ok());
+  const auto& secrets = r.value().report.secrets;
+  PairModulus pm(secrets.r, secrets.z);
+  for (const auto& pair : secrets.pairs) {
+    auto fi = r.value().watermarked.CountOf(pair.token_i);
+    auto fj = r.value().watermarked.CountOf(pair.token_j);
+    ASSERT_TRUE(fi && fj);
+    uint64_t s = pm.Compute(pair.token_i, pair.token_j);
+    ASSERT_GE(s, 2u);
+    EXPECT_EQ((*fi - *fj) % s, 0u)
+        << pair.token_i << "/" << pair.token_j;
+  }
+}
+
+TEST(WatermarkGeneratorTest, DeterministicForFixedSeed) {
+  Histogram h = MakeSkewedHistogram(8);
+  auto r1 = WatermarkGenerator(DefaultOptions(123)).GenerateFromHistogram(h);
+  auto r2 = WatermarkGenerator(DefaultOptions(123)).GenerateFromHistogram(h);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().report.secrets, r2.value().report.secrets);
+  EXPECT_EQ(r1.value().report.chosen_pairs, r2.value().report.chosen_pairs);
+}
+
+TEST(WatermarkGeneratorTest, DifferentSeedsProduceDifferentSecrets) {
+  Histogram h = MakeSkewedHistogram(9);
+  auto r1 = WatermarkGenerator(DefaultOptions(1)).GenerateFromHistogram(h);
+  auto r2 = WatermarkGenerator(DefaultOptions(2)).GenerateFromHistogram(h);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r1.value().report.secrets.r == r2.value().report.secrets.r);
+}
+
+TEST(WatermarkGeneratorTest, TotalChurnMatchesHistogramDiff) {
+  Histogram h = MakeSkewedHistogram(10);
+  WatermarkGenerator gen(DefaultOptions());
+  auto r = gen.GenerateFromHistogram(h);
+  ASSERT_TRUE(r.ok());
+  uint64_t churn = 0;
+  for (const auto& e : h.entries()) {
+    auto after = r.value().watermarked.CountOf(e.token);
+    ASSERT_TRUE(after.has_value());
+    churn += *after > e.count ? *after - e.count : e.count - *after;
+  }
+  EXPECT_EQ(churn, r.value().report.total_churn);
+}
+
+TEST(ApplyPairDeltasTest, AppliesDeltasAndReportsApplied) {
+  auto h = Histogram::FromCounts(
+      {{"a", 1000}, {"b", 800}, {"c", 500}, {"d", 200}});
+  ASSERT_TRUE(h.ok());
+  std::vector<EligiblePair> eligible = {
+      MakePairPlan(0, 2, 500, 7),   // a-c
+      MakePairPlan(1, 3, 600, 11),  // b-d
+  };
+  std::vector<size_t> applied;
+  Histogram out =
+      ApplyPairDeltas(h.value(), eligible, {0, 1}, &applied);
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_TRUE(out.IsSortedDescending());
+  EXPECT_EQ((*out.CountOf("a") - *out.CountOf("c")) % 7, 0u);
+  EXPECT_EQ((*out.CountOf("b") - *out.CountOf("d")) % 11, 0u);
+}
+
+TEST(ApplyPairDeltasTest, RevertsRankBreakingPair) {
+  // Construct a pair whose deltas would cross a neighbouring token.
+  auto h = Histogram::FromCounts({{"a", 100}, {"b", 99}, {"c", 10}});
+  ASSERT_TRUE(h.ok());
+  // Force a large shrink on (a, c): delta_i = -13 would push a below b.
+  EligiblePair bad = MakePairPlan(0, 2, 90, 53);  // rm=37>26 -> grow by 16
+  // Make a definitely rank-breaking plan manually:
+  bad.delta_i = -30;
+  bad.delta_j = +30;
+  std::vector<size_t> applied;
+  Histogram out = ApplyPairDeltas(h.value(), {bad}, {0}, &applied);
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(out.CountOf("a"), 100u);
+  EXPECT_EQ(out.CountOf("c"), 10u);
+}
+
+TEST(TransformDatasetTest, MatchesTargetHistogram) {
+  Rng data_rng(11);
+  PowerLawSpec spec;
+  spec.num_tokens = 30;
+  spec.sample_size = 5000;
+  spec.alpha = 0.8;
+  Dataset original = GeneratePowerLawDataset(spec, data_rng);
+  Histogram hist = Histogram::FromDataset(original);
+
+  // Build a target: move some counts around.
+  Histogram target = hist;
+  ASSERT_TRUE(target.AddDelta(hist.entry(0).token, -5).ok());
+  ASSERT_TRUE(target.AddDelta(hist.entry(3).token, +7).ok());
+  ASSERT_TRUE(target.AddDelta(hist.entry(5).token, -2).ok());
+
+  Rng rng(12);
+  Dataset transformed = TransformDataset(original, target, rng);
+  Histogram result = Histogram::FromDataset(transformed);
+  for (const auto& e : target.entries()) {
+    EXPECT_EQ(result.CountOf(e.token), e.count) << e.token;
+  }
+  EXPECT_EQ(transformed.size(), target.total_count());
+}
+
+TEST(TransformDatasetTest, NoChangeIsIdentityContent) {
+  Dataset original({"a", "b", "a", "c"});
+  Histogram hist = Histogram::FromDataset(original);
+  Rng rng(13);
+  Dataset out = TransformDataset(original, hist, rng);
+  EXPECT_EQ(out.tokens(), original.tokens());
+}
+
+TEST(TransformDatasetTest, InsertionsLandAtVariedPositions) {
+  std::vector<Token> many(2000, "filler");
+  Dataset original(std::move(many));
+  Histogram target = Histogram::FromDataset(original);
+  // Add a new... tokens must already exist in histogram; grow "filler"
+  // instead and shrink nothing: target has +50 fillers.
+  ASSERT_TRUE(target.AddDelta("filler", 50).ok());
+  Rng rng(14);
+  Dataset out = TransformDataset(original, target, rng);
+  EXPECT_EQ(out.size(), 2050u);
+}
+
+TEST(EndToEndDatasetTest, GenerateTransformsAndStaysDetectable) {
+  Rng data_rng(15);
+  PowerLawSpec spec;
+  spec.num_tokens = 80;
+  spec.sample_size = 50000;
+  spec.alpha = 0.7;
+  Dataset original = GeneratePowerLawDataset(spec, data_rng);
+
+  WatermarkGenerator gen(DefaultOptions(77));
+  auto r = gen.Generate(original);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r.value().report.chosen_pairs, 0u);
+
+  DetectOptions d;
+  d.pair_threshold = 0;
+  d.min_pairs = r.value().report.chosen_pairs;
+  DetectResult dr =
+      DetectWatermark(r.value().watermarked, r.value().report.secrets, d);
+  EXPECT_TRUE(dr.accepted);
+}
+
+}  // namespace
+}  // namespace freqywm

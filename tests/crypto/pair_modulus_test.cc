@@ -1,0 +1,80 @@
+#include "crypto/pair_modulus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace freqywm {
+namespace {
+
+TEST(PairModulusTest, DeterministicForFixedSecret) {
+  WatermarkSecret s = GenerateSecret(256, 11);
+  PairModulus pm(s, 1031);
+  EXPECT_EQ(pm.Compute("youtube.com", "instagram.com"),
+            pm.Compute("youtube.com", "instagram.com"));
+}
+
+TEST(PairModulusTest, ResultBelowZ) {
+  WatermarkSecret s = GenerateSecret(256, 13);
+  for (uint64_t z : {2ull, 10ull, 131ull, 1031ull}) {
+    PairModulus pm(s, z);
+    for (int i = 0; i < 50; ++i) {
+      uint64_t v = pm.Compute("tk" + std::to_string(i), "tk_other");
+      EXPECT_LT(v, z);
+    }
+  }
+}
+
+TEST(PairModulusTest, AsymmetricInPairOrder) {
+  // The derivation H(tk_i || H(R || tk_j)) is intentionally ordered.
+  WatermarkSecret s = GenerateSecret(256, 17);
+  PairModulus pm(s, 1000003);
+  EXPECT_NE(pm.Compute("alpha", "beta"), pm.Compute("beta", "alpha"));
+}
+
+TEST(PairModulusTest, DifferentSecretsGiveDifferentModuli) {
+  PairModulus a(GenerateSecret(256, 1), 1000003);
+  PairModulus b(GenerateSecret(256, 2), 1000003);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::string ti = "tk" + std::to_string(i);
+    if (a.Compute(ti, "x") != b.Compute(ti, "x")) ++differing;
+  }
+  EXPECT_GT(differing, 15);  // collisions should be rare
+}
+
+TEST(PairModulusTest, InnerDigestCacheMatchesDirectComputation) {
+  WatermarkSecret s = GenerateSecret(256, 19);
+  PairModulus pm(s, 131);
+  Sha256::Digest inner = pm.InnerDigest("facebook.com");
+  for (const char* ti : {"youtube.com", "bbc.com", "cnn.com"}) {
+    EXPECT_EQ(pm.ComputeWithInner(ti, inner), pm.Compute(ti, "facebook.com"));
+  }
+}
+
+TEST(PairModulusTest, ValuesLookUniformModZ) {
+  // Bucket counts for s_ij over many token pairs should be roughly flat —
+  // the property that makes t/s the right false-positive model.
+  WatermarkSecret s = GenerateSecret(256, 23);
+  const uint64_t z = 10;
+  PairModulus pm(s, z);
+  std::map<uint64_t, int> buckets;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    buckets[pm.Compute("a" + std::to_string(i), "b")]++;
+  }
+  for (const auto& [value, count] : buckets) {
+    EXPECT_NEAR(count, n / static_cast<int>(z), n / static_cast<int>(z) / 2);
+  }
+}
+
+TEST(PairModulusTest, TokenConcatenationIsNotAmbiguous) {
+  // ("ab", "c") vs ("a", "bc") must not collide thanks to the inner hash
+  // having fixed width: H(tk_i || H(R||tk_j)) separates the halves.
+  WatermarkSecret s = GenerateSecret(256, 29);
+  PairModulus pm(s, 1000003);
+  EXPECT_NE(pm.Compute("ab", "c"), pm.Compute("a", "bc"));
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,60 @@
+#include "crypto/secret.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+TEST(SecretTest, DefaultLambdaIs256Bits) {
+  WatermarkSecret s = GenerateSecret();
+  EXPECT_EQ(s.lambda_bits(), 256u);
+  EXPECT_EQ(s.r.size(), 32u);
+}
+
+TEST(SecretTest, CustomLambda) {
+  EXPECT_EQ(GenerateSecret(128, 1).r.size(), 16u);
+  EXPECT_EQ(GenerateSecret(8, 1).r.size(), 1u);
+  // Sub-byte lambda is rounded up to one byte.
+  EXPECT_EQ(GenerateSecret(3, 1).r.size(), 1u);
+  // Long secrets need several SHA-256 blocks.
+  EXPECT_EQ(GenerateSecret(1024, 1).r.size(), 128u);
+}
+
+TEST(SecretTest, DeterministicSeedReproduces) {
+  WatermarkSecret a = GenerateSecret(256, 99);
+  WatermarkSecret b = GenerateSecret(256, 99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SecretTest, DifferentSeedsDiffer) {
+  EXPECT_FALSE(GenerateSecret(256, 1) == GenerateSecret(256, 2));
+}
+
+TEST(SecretTest, NonDeterministicSecretsDiffer) {
+  // Two draws from the entropy pool colliding would mean a broken RNG.
+  EXPECT_FALSE(GenerateSecret() == GenerateSecret());
+}
+
+TEST(SecretTest, HexRoundTrip) {
+  WatermarkSecret s = GenerateSecret(256, 7);
+  auto parsed = WatermarkSecret::FromHex(s.ToHex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(SecretTest, FromHexRejectsGarbage) {
+  EXPECT_FALSE(WatermarkSecret::FromHex("xyz").ok());
+  EXPECT_FALSE(WatermarkSecret::FromHex("abc").ok());  // odd length
+  EXPECT_FALSE(WatermarkSecret::FromHex("").ok());     // empty secret
+}
+
+TEST(SecretTest, LongSecretBlocksAreNotRepeated) {
+  // Counter-mode stretching must not repeat the first block.
+  WatermarkSecret s = GenerateSecret(512, 5);
+  std::vector<uint8_t> first(s.r.begin(), s.r.begin() + 32);
+  std::vector<uint8_t> second(s.r.begin() + 32, s.r.begin() + 64);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,100 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace freqywm {
+namespace {
+
+// NIST FIPS 180-4 / CAVP short-message vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, LongMillionA) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(Sha256::HexDigest(input),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, FoxSentence) {
+  EXPECT_EQ(Sha256::HexDigest("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+// Exercise the padding boundary cases: messages of length 55, 56, 63, 64
+// hit the different pad paths (length fits / does not fit the final block).
+TEST(Sha256Test, PaddingBoundaries) {
+  EXPECT_EQ(Sha256::HexDigest(std::string(55, 'x')),
+            Sha256::HexDigest(std::string(55, 'x')));
+  std::string len55(55, 'a'), len56(56, 'a'), len63(63, 'a'), len64(64, 'a');
+  // Distinct lengths must hash differently.
+  EXPECT_NE(Sha256::HexDigest(len55), Sha256::HexDigest(len56));
+  EXPECT_NE(Sha256::HexDigest(len56), Sha256::HexDigest(len63));
+  EXPECT_NE(Sha256::HexDigest(len63), Sha256::HexDigest(len64));
+}
+
+// Known vector at the 56-byte boundary (CAVP).
+TEST(Sha256Test, Exactly64Bytes) {
+  std::string input(64, 'a');
+  EXPECT_EQ(Sha256::HexDigest(input),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data =
+      "FreqyWM hides a secret in the appearance frequency of tokens";
+  Sha256 h;
+  // Feed in awkward chunk sizes to cross block boundaries.
+  size_t pos = 0;
+  size_t chunk = 1;
+  while (pos < data.size()) {
+    size_t take = std::min(chunk, data.size() - pos);
+    h.Update(data.substr(pos, take));
+    pos += take;
+    chunk = chunk * 2 + 1;
+  }
+  Sha256::Digest inc = h.Finish();
+  Sha256::Digest once = Sha256::Hash(data);
+  EXPECT_EQ(inc, once);
+}
+
+TEST(Sha256Test, VectorOverloadMatchesStringOverload) {
+  std::string s = "bytes";
+  std::vector<uint8_t> v(s.begin(), s.end());
+  EXPECT_EQ(Sha256::Hash(s), Sha256::Hash(v));
+}
+
+TEST(Sha256Test, DigestPrefixU64IsBigEndian) {
+  Sha256::Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(DigestPrefixU64(d), 0x01000000000000ffULL);
+}
+
+TEST(Sha256Test, AvalancheOneBitFlip) {
+  Sha256::Digest a = Sha256::Hash("token-a");
+  Sha256::Digest b = Sha256::Hash("token-b");
+  int differing_bits = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differing_bits += __builtin_popcount(a[i] ^ b[i]);
+  }
+  // ~128 expected for an ideal hash; anything above 80 shows diffusion.
+  EXPECT_GT(differing_bits, 80);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,183 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace freqywm {
+namespace {
+
+Dataset MakeAbc() {
+  return Dataset({"a", "b", "a", "c", "a", "b"});
+}
+
+TEST(DatasetTest, SizeAndAccess) {
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[0], "a");
+  EXPECT_EQ(d[3], "c");
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(Dataset().empty());
+}
+
+TEST(DatasetTest, CountOf) {
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.CountOf("a"), 3u);
+  EXPECT_EQ(d.CountOf("b"), 2u);
+  EXPECT_EQ(d.CountOf("missing"), 0u);
+}
+
+TEST(DatasetTest, AppendAndInsertAtRandomPosition) {
+  Rng rng(1);
+  Dataset d = MakeAbc();
+  d.Append("z");
+  EXPECT_EQ(d.CountOf("z"), 1u);
+  d.InsertAtRandomPosition("z", rng);
+  d.InsertAtRandomPosition("z", rng);
+  EXPECT_EQ(d.CountOf("z"), 3u);
+  EXPECT_EQ(d.size(), 9u);
+}
+
+TEST(DatasetTest, RemoveRandomOccurrences) {
+  Rng rng(2);
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.RemoveRandomOccurrences("a", 2, rng), 2u);
+  EXPECT_EQ(d.CountOf("a"), 1u);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+TEST(DatasetTest, RemoveMoreThanPresentRemovesAll) {
+  Rng rng(3);
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.RemoveRandomOccurrences("b", 10, rng), 2u);
+  EXPECT_EQ(d.CountOf("b"), 0u);
+}
+
+TEST(DatasetTest, RemoveMissingTokenIsNoop) {
+  Rng rng(4);
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.RemoveRandomOccurrences("zz", 3, rng), 0u);
+  EXPECT_EQ(d.size(), 6u);
+}
+
+TEST(DatasetTest, RemovePreservesOrderOfSurvivors) {
+  Rng rng(5);
+  Dataset d({"a", "x", "a", "y", "a", "z"});
+  d.RemoveRandomOccurrences("a", 3, rng);
+  EXPECT_EQ(d.tokens(), (std::vector<Token>{"x", "y", "z"}));
+}
+
+TEST(DatasetTest, SampleRowsKeepsRelativeOrder) {
+  Rng rng(6);
+  std::vector<Token> tokens;
+  for (int i = 0; i < 100; ++i) tokens.push_back("t" + std::to_string(i));
+  Dataset d(tokens);
+  Dataset sample = d.SampleRows(30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+  // Order preserved: the numeric suffixes must be strictly increasing.
+  int prev = -1;
+  for (const auto& t : sample.tokens()) {
+    int cur = std::stoi(t.substr(1));
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(DatasetTest, SampleLargerThanDatasetReturnsAll) {
+  Rng rng(7);
+  Dataset d = MakeAbc();
+  EXPECT_EQ(d.SampleRows(100, rng).size(), 6u);
+}
+
+TEST(TableDatasetTest, SchemaEnforced) {
+  TableDataset t({"Age", "WorkClass"});
+  EXPECT_TRUE(t.AppendRow({"39", "Private"}).ok());
+  Status s = t.AppendRow({"too", "many", "fields"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableDatasetTest, ColumnIndexLookup) {
+  TableDataset t({"Age", "WorkClass"});
+  auto idx = t.ColumnIndex("WorkClass");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_EQ(t.ColumnIndex("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TableDataset MakeAdultMini() {
+  TableDataset t({"Age", "WorkClass", "Hours"});
+  EXPECT_TRUE(t.AppendRow({"39", "Private", "40"}).ok());
+  EXPECT_TRUE(t.AppendRow({"39", "Private", "20"}).ok());
+  EXPECT_TRUE(t.AppendRow({"50", "SelfEmp", "60"}).ok());
+  EXPECT_TRUE(t.AppendRow({"39", "SelfEmp", "40"}).ok());
+  return t;
+}
+
+TEST(TableDatasetTest, ProjectSingleColumn) {
+  TableDataset t = MakeAdultMini();
+  auto d = t.ProjectTokens({"Age"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().tokens(),
+            (std::vector<Token>{"39", "39", "50", "39"}));
+}
+
+TEST(TableDatasetTest, ProjectCompositeToken) {
+  TableDataset t = MakeAdultMini();
+  auto d = t.ProjectTokens({"Age", "WorkClass"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().CountOf(JoinAttributes({"39", "Private"})), 2u);
+  EXPECT_EQ(d.value().CountOf(JoinAttributes({"39", "SelfEmp"})), 1u);
+}
+
+TEST(TableDatasetTest, ProjectUnknownColumnFails) {
+  TableDataset t = MakeAdultMini();
+  EXPECT_FALSE(t.ProjectTokens({"Age", "Ghost"}).ok());
+  EXPECT_FALSE(t.ProjectTokens({}).ok());
+}
+
+TEST(TableDatasetTest, ReplicateTokenRowsCopiesDonorAttributes) {
+  Rng rng(8);
+  TableDataset t = MakeAdultMini();
+  Token target = JoinAttributes({"39", "Private"});
+  ASSERT_TRUE(
+      t.ReplicateTokenRows({"Age", "WorkClass"}, target, 3, rng).ok());
+  EXPECT_EQ(t.num_rows(), 7u);
+  auto d = t.ProjectTokens({"Age", "WorkClass"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().CountOf(target), 5u);
+  // Every new row must carry Hours copied from a donor (40 or 20).
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.row(r)[0] == "39" && t.row(r)[1] == "Private") {
+      EXPECT_TRUE(t.row(r)[2] == "40" || t.row(r)[2] == "20");
+    }
+  }
+}
+
+TEST(TableDatasetTest, ReplicateWithoutDonorFails) {
+  Rng rng(9);
+  TableDataset t = MakeAdultMini();
+  Status s = t.ReplicateTokenRows({"Age"}, "99", 1, rng);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(TableDatasetTest, RemoveTokenRows) {
+  Rng rng(10);
+  TableDataset t = MakeAdultMini();
+  auto removed = t.RemoveTokenRows({"Age"}, "39", 2, rng);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDatasetTest, RemoveMoreThanPresentClamps) {
+  Rng rng(11);
+  TableDataset t = MakeAdultMini();
+  auto removed = t.RemoveTokenRows({"Age"}, "50", 5, rng);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1u);
+}
+
+}  // namespace
+}  // namespace freqywm

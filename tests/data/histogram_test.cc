@@ -1,0 +1,134 @@
+#include "data/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+Histogram MakeUrlHistogram() {
+  // The paper's running example (Fig. 1).
+  auto h = Histogram::FromCounts({{"youtube", 1098},
+                                  {"facebook", 980},
+                                  {"google", 674},
+                                  {"instagram", 537},
+                                  {"bbc", 64},
+                                  {"cnn", 53},
+                                  {"elpais", 53}});
+  EXPECT_TRUE(h.ok());
+  return std::move(h).value();
+}
+
+TEST(HistogramTest, FromDatasetCountsAndSorts) {
+  Dataset d({"b", "a", "a", "c", "a", "b"});
+  Histogram h = Histogram::FromDataset(d);
+  EXPECT_EQ(h.num_tokens(), 3u);
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_EQ(h.entry(0).token, "a");
+  EXPECT_EQ(h.entry(0).count, 3u);
+  EXPECT_EQ(h.entry(1).token, "b");
+  EXPECT_EQ(h.entry(2).token, "c");
+  EXPECT_TRUE(h.IsSortedDescending());
+}
+
+TEST(HistogramTest, TieBreakIsDeterministicByToken) {
+  Dataset d({"zz", "aa"});
+  Histogram h = Histogram::FromDataset(d);
+  EXPECT_EQ(h.entry(0).token, "aa");
+  EXPECT_EQ(h.entry(1).token, "zz");
+}
+
+TEST(HistogramTest, FromCountsRejectsDuplicates) {
+  auto h = Histogram::FromCounts({{"a", 1}, {"a", 2}});
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, FromCountsRejectsZeroCounts) {
+  EXPECT_FALSE(Histogram::FromCounts({{"a", 0}}).ok());
+}
+
+TEST(HistogramTest, CountOfAndRankOf) {
+  Histogram h = MakeUrlHistogram();
+  EXPECT_EQ(h.CountOf("youtube"), 1098u);
+  EXPECT_EQ(h.RankOf("youtube"), 0u);
+  EXPECT_EQ(h.RankOf("instagram"), 3u);
+  EXPECT_FALSE(h.CountOf("myspace").has_value());
+  EXPECT_FALSE(h.RankOf("myspace").has_value());
+}
+
+TEST(HistogramTest, SetCountUpdatesTotal) {
+  Histogram h = MakeUrlHistogram();
+  uint64_t before = h.total_count();
+  ASSERT_TRUE(h.SetCount("cnn", 100).ok());
+  EXPECT_EQ(h.CountOf("cnn"), 100u);
+  EXPECT_EQ(h.total_count(), before - 53 + 100);
+}
+
+TEST(HistogramTest, SetCountUnknownTokenFails) {
+  Histogram h = MakeUrlHistogram();
+  EXPECT_EQ(h.SetCount("nope", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(HistogramTest, AddDeltaPositiveAndNegative) {
+  Histogram h = MakeUrlHistogram();
+  ASSERT_TRUE(h.AddDelta("youtube", -23).ok());
+  ASSERT_TRUE(h.AddDelta("instagram", 22).ok());
+  EXPECT_EQ(h.CountOf("youtube"), 1075u);
+  EXPECT_EQ(h.CountOf("instagram"), 559u);
+}
+
+TEST(HistogramTest, AddDeltaUnderflowRejected) {
+  Histogram h = MakeUrlHistogram();
+  EXPECT_EQ(h.AddDelta("cnn", -54).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(h.CountOf("cnn"), 53u);  // unchanged
+}
+
+TEST(HistogramTest, MutationDoesNotResort) {
+  Histogram h = MakeUrlHistogram();
+  ASSERT_TRUE(h.SetCount("elpais", 5000).ok());
+  EXPECT_FALSE(h.IsSortedDescending());
+  // Rank positions are frozen until Resorted().
+  EXPECT_EQ(h.RankOf("elpais"), 6u);
+}
+
+TEST(HistogramTest, ResortedRestoresOrder) {
+  Histogram h = MakeUrlHistogram();
+  ASSERT_TRUE(h.SetCount("elpais", 5000).ok());
+  Histogram r = h.Resorted();
+  EXPECT_TRUE(r.IsSortedDescending());
+  EXPECT_EQ(r.RankOf("elpais"), 0u);
+  EXPECT_EQ(r.CountOf("elpais"), 5000u);
+}
+
+TEST(HistogramTest, ScaleCounts) {
+  Histogram h = MakeUrlHistogram();
+  h.ScaleCounts(2.0);
+  EXPECT_EQ(h.CountOf("youtube"), 2196u);
+  EXPECT_EQ(h.CountOf("cnn"), 106u);
+}
+
+TEST(HistogramTest, ScaleCountsRoundsToNearest) {
+  auto h = Histogram::FromCounts({{"a", 3}});
+  ASSERT_TRUE(h.ok());
+  Histogram hist = std::move(h).value();
+  hist.ScaleCounts(0.5);  // 1.5 -> 2 (round half away from zero)
+  EXPECT_EQ(hist.CountOf("a"), 2u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_tokens(), 0u);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_TRUE(h.IsSortedDescending());
+}
+
+TEST(HistogramTest, TotalEqualsSumOfEntries) {
+  Histogram h = MakeUrlHistogram();
+  uint64_t sum = 0;
+  for (const auto& e : h.entries()) sum += e.count;
+  EXPECT_EQ(h.total_count(), sum);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,84 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace freqywm {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/freqywm_io_" + name;
+  }
+};
+
+TEST_F(IoTest, TokenFileRoundTrip) {
+  std::string path = TempPath("tokens.txt");
+  Dataset d({"youtube.com", "facebook.com", "youtube.com"});
+  ASSERT_TRUE(WriteTokenFile(d, path).ok());
+  auto loaded = ReadTokenFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().tokens(), d.tokens());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TokenFileSkipsBlankLinesAndStrips) {
+  std::string path = TempPath("blank.txt");
+  {
+    std::ofstream out(path);
+    out << "a\n\n  b  \n\t\nc\n";
+  }
+  auto loaded = ReadTokenFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().tokens(), (std::vector<Token>{"a", "b", "c"}));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ReadMissingTokenFileFails) {
+  auto loaded = ReadTokenFile("/nonexistent/never/here.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  std::string path = TempPath("table.csv");
+  TableDataset t({"Age", "WorkClass"});
+  ASSERT_TRUE(t.AppendRow({"39", "Private"}).ok());
+  ASSERT_TRUE(t.AppendRow({"50", "SelfEmp"}).ok());
+  ASSERT_TRUE(WriteSimpleCsv(t, path).ok());
+
+  auto loaded = ReadSimpleCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), 2u);
+  EXPECT_EQ(loaded.value().column_names(),
+            (std::vector<std::string>{"Age", "WorkClass"}));
+  EXPECT_EQ(loaded.value().row(1)[1], "SelfEmp");
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CsvArityMismatchIsCorruption) {
+  std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n1,2,3\n";
+  }
+  auto loaded = ReadSimpleCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EmptyCsvIsCorruption) {
+  std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  auto loaded = ReadSimpleCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace freqywm

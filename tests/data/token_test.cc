@@ -1,0 +1,35 @@
+#include "data/token.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+TEST(TokenTest, JoinSplitRoundTrip) {
+  std::vector<std::string> attrs{"39", "Private"};
+  Token joined = JoinAttributes(attrs);
+  EXPECT_EQ(SplitAttributes(joined), attrs);
+}
+
+TEST(TokenTest, SingleAttributeIsIdentity) {
+  EXPECT_EQ(JoinAttributes({"youtube.com"}), "youtube.com");
+  EXPECT_EQ(SplitAttributes("youtube.com"),
+            std::vector<std::string>{"youtube.com"});
+}
+
+TEST(TokenTest, EmptyAttributesPreserved) {
+  std::vector<std::string> attrs{"", "x", ""};
+  EXPECT_EQ(SplitAttributes(JoinAttributes(attrs)), attrs);
+}
+
+TEST(TokenTest, DistinctCombinationsYieldDistinctTokens) {
+  EXPECT_NE(JoinAttributes({"ab", "c"}), JoinAttributes({"a", "bc"}));
+}
+
+TEST(TokenTest, ThreeWayJoin) {
+  std::vector<std::string> attrs{"39", "Private", "Bachelors"};
+  EXPECT_EQ(SplitAttributes(JoinAttributes(attrs)), attrs);
+}
+
+}  // namespace
+}  // namespace freqywm

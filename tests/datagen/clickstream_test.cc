@@ -1,0 +1,100 @@
+#include "datagen/clickstream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/decomposition.h"
+
+namespace freqywm {
+namespace {
+
+ClickstreamSpec SmallSpec() {
+  ClickstreamSpec spec;
+  spec.num_urls = 100;
+  spec.num_events = 20000;
+  spec.num_days = 14;
+  return spec;
+}
+
+TEST(ClickstreamTest, EventCountAndTimeRange) {
+  Rng rng(1);
+  ClickstreamSpec spec = SmallSpec();
+  auto events = GenerateClickstream(spec, rng);
+  EXPECT_EQ(events.size(), spec.num_events);
+  for (const auto& e : events) {
+    EXPECT_GE(e.timestamp, spec.start_timestamp);
+    EXPECT_LT(e.timestamp, spec.start_timestamp +
+                               static_cast<int64_t>(spec.num_days) * 86400);
+  }
+}
+
+TEST(ClickstreamTest, EventsAreTimestampSorted) {
+  Rng rng(2);
+  auto events = GenerateClickstream(SmallSpec(), rng);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const ClickEvent& a, const ClickEvent& b) {
+                               return a.timestamp < b.timestamp;
+                             }));
+}
+
+TEST(ClickstreamTest, TokensProjectInOrder) {
+  Rng rng(3);
+  auto events = GenerateClickstream(SmallSpec(), rng);
+  Dataset tokens = ClickstreamTokens(events);
+  ASSERT_EQ(tokens.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(tokens[i], events[i].url);
+  }
+}
+
+TEST(ClickstreamTest, DailyCountsSumToEvents) {
+  Rng rng(4);
+  ClickstreamSpec spec = SmallSpec();
+  auto events = GenerateClickstream(spec, rng);
+  auto daily = DailyClickCounts(events, spec.start_timestamp, spec.num_days);
+  ASSERT_EQ(daily.size(), spec.num_days);
+  double total = 0;
+  for (double d : daily) total += d;
+  EXPECT_EQ(static_cast<size_t>(total), spec.num_events);
+}
+
+TEST(ClickstreamTest, TrendIsVisibleInDailyCounts) {
+  Rng rng(5);
+  ClickstreamSpec spec;
+  spec.num_urls = 50;
+  spec.num_events = 100000;
+  spec.num_days = 30;
+  spec.daily_trend = 0.05;  // strong growth
+  auto events = GenerateClickstream(spec, rng);
+  auto daily = DailyClickCounts(events, spec.start_timestamp, spec.num_days);
+  // Second half of the month must be busier than the first.
+  double first = 0, second = 0;
+  for (size_t i = 0; i < 15; ++i) first += daily[i];
+  for (size_t i = 15; i < 30; ++i) second += daily[i];
+  EXPECT_GT(second, first * 1.2);
+}
+
+TEST(ClickstreamTest, DailySeasonalityIsVisibleInHourlyCounts) {
+  Rng rng(6);
+  ClickstreamSpec spec;
+  spec.num_urls = 50;
+  spec.num_events = 200000;
+  spec.num_days = 10;
+  spec.daily_seasonality = 0.9;
+  auto events = GenerateClickstream(spec, rng);
+
+  // Hourly series should decompose into a clearly nonzero seasonal part.
+  std::vector<double> hourly(spec.num_days * 24, 0.0);
+  for (const auto& e : events) {
+    int64_t hour = (e.timestamp - spec.start_timestamp) / 3600;
+    hourly[static_cast<size_t>(hour)] += 1.0;
+  }
+  auto dec = DecomposeAdditive(hourly, 24);
+  double seasonal_sd = StdDev(dec.seasonal);
+  double residual_sd = StdDev(dec.residual);
+  EXPECT_GT(seasonal_sd, residual_sd);
+}
+
+}  // namespace
+}  // namespace freqywm

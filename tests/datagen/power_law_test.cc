@@ -1,0 +1,130 @@
+#include "datagen/power_law.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace freqywm {
+namespace {
+
+TEST(PowerLawProbabilitiesTest, SumsToOne) {
+  for (double alpha : {0.0, 0.05, 0.5, 1.0, 2.0}) {
+    auto p = PowerLawProbabilities(100, alpha);
+    double sum = 0;
+    for (double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(PowerLawProbabilitiesTest, AlphaZeroIsUniform) {
+  auto p = PowerLawProbabilities(10, 0.0);
+  for (double v : p) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(PowerLawProbabilitiesTest, MonotoneDecreasingForPositiveAlpha) {
+  auto p = PowerLawProbabilities(50, 0.7);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_LE(p[i], p[i - 1]);
+}
+
+TEST(PowerLawProbabilitiesTest, HigherAlphaIsMoreSkewed) {
+  auto p_low = PowerLawProbabilities(100, 0.2);
+  auto p_high = PowerLawProbabilities(100, 1.0);
+  EXPECT_GT(p_high[0], p_low[0]);
+  EXPECT_LT(p_high[99], p_low[99]);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(1);
+  std::vector<double> weights{8.0, 1.0, 1.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.8, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(AliasSamplerTest, SingleCategory) {
+  Rng rng(2);
+  AliasSampler sampler({3.0});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightCategoryNeverSampled) {
+  Rng rng(3);
+  AliasSampler sampler({1.0, 0.0, 1.0});
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(GeneratePowerLawDatasetTest, SizeAndTokenUniverse) {
+  Rng rng(4);
+  PowerLawSpec spec;
+  spec.num_tokens = 20;
+  spec.sample_size = 5000;
+  spec.alpha = 0.5;
+  Dataset d = GeneratePowerLawDataset(spec, rng);
+  EXPECT_EQ(d.size(), 5000u);
+  for (const auto& t : d.tokens()) {
+    EXPECT_EQ(t.rfind("tk", 0), 0u);
+  }
+}
+
+TEST(GeneratePowerLawDatasetTest, RankZeroIsMostFrequent) {
+  Rng rng(5);
+  PowerLawSpec spec;
+  spec.num_tokens = 10;
+  spec.sample_size = 20000;
+  spec.alpha = 1.0;
+  Dataset d = GeneratePowerLawDataset(spec, rng);
+  EXPECT_GT(d.CountOf("tk0"), d.CountOf("tk9"));
+}
+
+TEST(GeneratePowerLawHistogramTest, MatchesDatasetDistribution) {
+  PowerLawSpec spec;
+  spec.num_tokens = 50;
+  spec.sample_size = 50000;
+  spec.alpha = 0.7;
+  Rng rng1(6), rng2(6);
+  Histogram from_hist = GeneratePowerLawHistogram(spec, rng1);
+  Histogram from_data =
+      Histogram::FromDataset(GeneratePowerLawDataset(spec, rng2));
+  // Same seed, same draw sequence — identical histograms.
+  EXPECT_EQ(from_hist.total_count(), from_data.total_count());
+  for (const auto& e : from_hist.entries()) {
+    EXPECT_EQ(from_data.CountOf(e.token), e.count) << e.token;
+  }
+}
+
+TEST(GeneratePowerLawHistogramTest, TotalEqualsSampleSize) {
+  Rng rng(7);
+  PowerLawSpec spec;
+  spec.num_tokens = 100;
+  spec.sample_size = 10000;
+  Histogram h = GeneratePowerLawHistogram(spec, rng);
+  EXPECT_EQ(h.total_count(), 10000u);
+  EXPECT_LE(h.num_tokens(), 100u);
+  EXPECT_TRUE(h.IsSortedDescending());
+}
+
+// Property sweep: the paper's alpha grid produces valid histograms with
+// variation that grows then saturates.
+class PowerLawAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawAlphaSweep, HistogramIsWellFormed) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 1000) + 1);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 100000;
+  spec.alpha = GetParam();
+  Histogram h = GeneratePowerLawHistogram(spec, rng);
+  EXPECT_TRUE(h.IsSortedDescending());
+  EXPECT_EQ(h.total_count(), spec.sample_size);
+  EXPECT_GT(h.num_tokens(), 150u);  // nearly all tokens appear at this size
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, PowerLawAlphaSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace freqywm

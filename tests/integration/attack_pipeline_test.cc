@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "attacks/destroy.h"
+#include "attacks/rewatermark.h"
+#include "attacks/sampling.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+// Integration of the full threat model: an owner watermarks once, then the
+// same artifact faces every attack in sequence.
+//
+// Two deployments are exercised:
+//  * the paper's defaults (min_modulus = 2) — maximum robustness to
+//    destroy/sampling attacks, used for the survival tests;
+//  * the hardened profile (min_modulus = 16) — pairs carry real evidence,
+//    used for the rejection/ownership tests (see DESIGN.md §5 and the
+//    ablation bench for the measured trade-off).
+class ThreatModelTest : public ::testing::Test {
+ protected:
+  struct Artifact {
+    Histogram watermarked;
+    WatermarkSecrets secrets;
+    size_t chosen = 0;
+  };
+
+  static Artifact Generate(const Histogram& original, uint64_t min_modulus,
+                           uint64_t seed) {
+    GenerateOptions o;
+    o.budget_percent = 2.0;
+    o.modulus_bound = 131;
+    o.min_modulus = min_modulus;
+    o.seed = seed;
+    auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+    EXPECT_TRUE(r.ok());
+    return {std::move(r.value().watermarked),
+            std::move(r.value().report.secrets),
+            r.value().report.chosen_pairs};
+  }
+
+  void SetUp() override {
+    Rng rng(2024);
+    PowerLawSpec spec;
+    spec.num_tokens = 250;
+    spec.sample_size = 500000;
+    spec.alpha = 0.5;
+    original_ = GeneratePowerLawHistogram(spec, rng);
+    robust_ = Generate(original_, /*min_modulus=*/2, 2024);
+    hardened_ = Generate(original_, /*min_modulus=*/16, 2025);
+
+    policy_.pair_threshold = 4;
+    policy_.min_pairs = std::max<size_t>(1, robust_.chosen / 2);
+  }
+
+  Histogram original_;
+  Artifact robust_;
+  Artifact hardened_;
+  DetectOptions policy_;
+};
+
+TEST_F(ThreatModelTest, CleanDataVerifiesPerfectly) {
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = robust_.chosen;
+  EXPECT_TRUE(
+      DetectWatermark(robust_.watermarked, robust_.secrets, strict).accepted);
+}
+
+TEST_F(ThreatModelTest, HardenedProfileRejectsOriginalData) {
+  DetectOptions strict;
+  strict.pair_threshold = 0;
+  strict.min_pairs = std::max<size_t>(1, hardened_.chosen / 2);
+  DetectResult r = DetectWatermark(original_, hardened_.secrets, strict);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_LT(r.verified_fraction, 0.5);
+}
+
+TEST_F(ThreatModelTest, HardenedProfileRejectsUnrelatedData) {
+  // The D_non curve of Fig. 5: a dataset over the same token universe but
+  // a different shape must not verify.
+  Rng rng(5);
+  PowerLawSpec spec;
+  spec.num_tokens = 250;
+  spec.sample_size = 500000;
+  spec.alpha = 0.7;
+  Histogram unrelated = GeneratePowerLawHistogram(spec, rng);
+  DetectOptions d;
+  d.pair_threshold = 4;
+  d.min_pairs = std::max<size_t>(1, hardened_.chosen / 2);
+  DetectResult r = DetectWatermark(unrelated, hardened_.secrets, d);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_LT(r.verified_fraction, 0.5);
+}
+
+TEST_F(ThreatModelTest, Survives20PercentSampling) {
+  Rng rng(1);
+  Histogram sample = SamplingAttackHistogram(
+      robust_.watermarked, robust_.watermarked.total_count() / 5, rng);
+  DetectOptions d = policy_;
+  d.pair_threshold = 10;  // §V-B uses relaxed t for samples
+  EXPECT_TRUE(DetectOnSample(sample, robust_.watermarked.total_count(),
+                             robust_.secrets, d)
+                  .accepted);
+}
+
+TEST_F(ThreatModelTest, SurvivesBoundaryDestroyAttack) {
+  Rng rng(2);
+  Histogram attacked =
+      DestroyAttackWithinBoundaries(robust_.watermarked, rng);
+  DetectResult r = DetectWatermark(attacked, robust_.secrets, policy_);
+  // Fig. 5: the success rate climbs toward ~90% as t grows; at t = 4 a
+  // majority of pairs verify.
+  EXPECT_TRUE(r.accepted);
+  EXPECT_GT(r.verified_fraction, 0.5);
+}
+
+TEST_F(ThreatModelTest, SurvivesOnePercentDestroyAttack) {
+  Rng rng(3);
+  Histogram attacked =
+      DestroyAttackPercentOfBoundary(robust_.watermarked, 1.0, rng);
+  DetectResult r = DetectWatermark(attacked, robust_.secrets, policy_);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_GT(r.verified_fraction, 0.8);
+}
+
+TEST_F(ThreatModelTest, SurvivesReorderingNoise) {
+  Rng rng(4);
+  Histogram attacked =
+      DestroyAttackWithReordering(robust_.watermarked, 30.0, rng);
+  DetectResult r = DetectWatermark(attacked, robust_.secrets, policy_);
+  EXPECT_GT(r.verified_fraction, 0.4);
+}
+
+TEST_F(ThreatModelTest, DefeatsReWatermarkingViaJudge) {
+  GenerateOptions attacker;
+  attacker.budget_percent = 2.0;
+  attacker.modulus_bound = 131;
+  attacker.min_modulus = 16;
+  attacker.seed = 9999;
+  auto forged = ReWatermarkAttack(hardened_.watermarked, attacker);
+  ASSERT_TRUE(forged.ok());
+
+  DetectOptions judge_policy;
+  judge_policy.pair_threshold = 0;
+  judge_policy.min_pairs = std::max<size_t>(1, hardened_.chosen / 2);
+  JudgeReport report = ArbitrateOwnership(
+      hardened_.watermarked, hardened_.secrets, forged.value().watermarked,
+      forged.value().report.secrets, judge_policy);
+  EXPECT_EQ(report.verdict, JudgeVerdict::kPartyA);
+}
+
+TEST_F(ThreatModelTest, AttackCannotEraseWithoutUtilityLoss) {
+  // The paper's core robustness claim: by the time an attack suppresses
+  // the watermark, the data itself is wrecked. Compare verified fraction
+  // against similarity damage across escalating noise.
+  DetectOptions d = policy_;
+  Rng rng(6);
+  Histogram mild = DestroyAttackWithReordering(robust_.watermarked, 10, rng);
+  Histogram wild = DestroyAttackWithReordering(robust_.watermarked, 90, rng);
+  double frac_mild = DetectWatermark(mild, robust_.secrets, d).verified_fraction;
+  double frac_wild = DetectWatermark(wild, robust_.secrets, d).verified_fraction;
+  EXPECT_GT(frac_mild, 0.5);
+  // Even at 90% noise a detectable share of pairs survives (paper: 76%).
+  EXPECT_GT(frac_wild, 0.25);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,76 @@
+#include "matching/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace freqywm {
+namespace {
+
+TEST(KnapsackTest, EmptyItems) {
+  EXPECT_TRUE(SolveEquallyValuedKnapsack({}, 100).empty());
+}
+
+TEST(KnapsackTest, TakesCheapestFirst) {
+  auto chosen = SolveEquallyValuedKnapsack(
+      {{0, 5}, {1, 1}, {2, 3}, {3, 10}}, 9);
+  // ascending weights 1,3,5 -> ids 1,2,0 fit (sum 9); 10 does not.
+  EXPECT_EQ(chosen, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(KnapsackTest, ZeroCapacityTakesOnlyFreeItems) {
+  auto chosen = SolveEquallyValuedKnapsack({{0, 0}, {1, 0}, {2, 1}}, 0);
+  EXPECT_EQ(chosen, (std::vector<size_t>{0, 1}));
+}
+
+TEST(KnapsackTest, AllFit) {
+  auto chosen = SolveEquallyValuedKnapsack({{7, 2}, {8, 2}}, 100);
+  EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(KnapsackTest, TieBreakById) {
+  auto chosen = SolveEquallyValuedKnapsack({{9, 4}, {2, 4}, {5, 4}}, 8);
+  EXPECT_EQ(chosen, (std::vector<size_t>{2, 5}));
+}
+
+TEST(KnapsackTest, NegativeWeightItemsSkipped) {
+  auto chosen = SolveEquallyValuedKnapsack({{0, -1}, {1, 2}}, 2);
+  EXPECT_EQ(chosen, (std::vector<size_t>{1}));
+}
+
+// Property: greedy-by-weight is exact for equal values. Verify against an
+// exhaustive subset search on small random instances.
+TEST(KnapsackTest, MatchesExhaustiveSearchCardinality) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 10;
+    std::vector<KnapsackItem> items;
+    for (size_t i = 0; i < n; ++i) {
+      items.push_back({i, rng.UniformInt(0, 30)});
+    }
+    int64_t capacity = rng.UniformInt(0, 120);
+
+    auto chosen = SolveEquallyValuedKnapsack(items, capacity);
+    int64_t used = 0;
+    for (size_t id : chosen) used += items[id].weight;
+    EXPECT_LE(used, capacity);
+
+    // Exhaustive best cardinality.
+    size_t best = 0;
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      int64_t w = 0;
+      size_t count = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          w += items[i].weight;
+          ++count;
+        }
+      }
+      if (w <= capacity) best = std::max(best, count);
+    }
+    EXPECT_EQ(chosen.size(), best) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

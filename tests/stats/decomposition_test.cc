@@ -1,0 +1,106 @@
+#include "stats/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace freqywm {
+namespace {
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5, 5, 5}), 0.0);
+  EXPECT_NEAR(StdDev({1, 3}), 1.0, 1e-12);
+}
+
+TEST(RmsdTest, IdenticalIsZero) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredDifference({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(RmsdTest, KnownValue) {
+  EXPECT_NEAR(RootMeanSquaredDifference({0, 0}, {3, 4}),
+              std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+}
+
+TEST(RmsdTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredDifference({}, {}), 0.0);
+}
+
+std::vector<double> MakeSyntheticSeries(size_t n, size_t period,
+                                        double trend_slope,
+                                        double season_amp) {
+  std::vector<double> s(n);
+  for (size_t t = 0; t < n; ++t) {
+    double trend = 100.0 + trend_slope * static_cast<double>(t);
+    double season = season_amp *
+                    std::sin(2.0 * M_PI * static_cast<double>(t % period) /
+                             static_cast<double>(period));
+    s[t] = trend + season;
+  }
+  return s;
+}
+
+TEST(DecomposeTest, ComponentsSumToSeries) {
+  auto series = MakeSyntheticSeries(120, 12, 0.5, 10.0);
+  auto dec = DecomposeAdditive(series, 12);
+  ASSERT_EQ(dec.trend.size(), series.size());
+  for (size_t t = 0; t < series.size(); ++t) {
+    EXPECT_NEAR(dec.trend[t] + dec.seasonal[t] + dec.residual[t], series[t],
+                1e-9);
+  }
+}
+
+TEST(DecomposeTest, RecoversLinearTrend) {
+  auto series = MakeSyntheticSeries(240, 24, 0.8, 15.0);
+  auto dec = DecomposeAdditive(series, 24);
+  // Interior trend estimates should match the true line closely.
+  for (size_t t = 30; t < 200; ++t) {
+    double truth = 100.0 + 0.8 * static_cast<double>(t);
+    EXPECT_NEAR(dec.trend[t], truth, 1.0) << "t=" << t;
+  }
+}
+
+TEST(DecomposeTest, RecoversSeasonalAmplitude) {
+  auto series = MakeSyntheticSeries(240, 24, 0.0, 15.0);
+  auto dec = DecomposeAdditive(series, 24);
+  double max_season = 0;
+  for (double v : dec.seasonal) max_season = std::max(max_season, v);
+  EXPECT_NEAR(max_season, 15.0, 1.0);
+}
+
+TEST(DecomposeTest, SeasonalSumsToZeroOverPeriod) {
+  auto series = MakeSyntheticSeries(120, 12, 0.3, 8.0);
+  auto dec = DecomposeAdditive(series, 12);
+  double sum = 0;
+  for (size_t ph = 0; ph < 12; ++ph) sum += dec.seasonal[ph];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(DecomposeTest, NoiseFreeSeriesHasTinyInteriorResidual) {
+  auto series = MakeSyntheticSeries(240, 24, 0.5, 10.0);
+  auto dec = DecomposeAdditive(series, 24);
+  for (size_t t = 30; t < 210; ++t) {
+    EXPECT_LT(std::abs(dec.residual[t]), 1.0) << "t=" << t;
+  }
+}
+
+TEST(DecomposeTest, OddPeriodSupported) {
+  auto series = MakeSyntheticSeries(70, 7, 0.2, 5.0);
+  auto dec = DecomposeAdditive(series, 7);
+  for (size_t t = 0; t < series.size(); ++t) {
+    EXPECT_NEAR(dec.trend[t] + dec.seasonal[t] + dec.residual[t], series[t],
+                1e-9);
+  }
+}
+
+TEST(DecomposeTest, SeasonalPatternIsPeriodic) {
+  auto series = MakeSyntheticSeries(96, 24, 0.1, 12.0);
+  auto dec = DecomposeAdditive(series, 24);
+  for (size_t t = 24; t < series.size(); ++t) {
+    EXPECT_DOUBLE_EQ(dec.seasonal[t], dec.seasonal[t - 24]);
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,123 @@
+#include "stats/poisson_binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace freqywm {
+namespace {
+
+double BinomialPmf(size_t n, size_t k, double p) {
+  double logc = std::lgamma(static_cast<double>(n) + 1) -
+                std::lgamma(static_cast<double>(k) + 1) -
+                std::lgamma(static_cast<double>(n - k) + 1);
+  return std::exp(logc + static_cast<double>(k) * std::log(p) +
+                  static_cast<double>(n - k) * std::log1p(-p));
+}
+
+TEST(PoissonBinomialTest, SingleTrial) {
+  PoissonBinomial pb({0.3});
+  EXPECT_NEAR(pb.Pmf(0), 0.7, 1e-9);
+  EXPECT_NEAR(pb.Pmf(1), 0.3, 1e-9);
+  EXPECT_NEAR(pb.Survival(1), 0.3, 1e-9);
+  EXPECT_DOUBLE_EQ(pb.Survival(0), 1.0);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialForEqualProbabilities) {
+  const size_t n = 20;
+  const double p = 0.37;
+  PoissonBinomial pb(std::vector<double>(n, p));
+  for (size_t k = 0; k <= n; ++k) {
+    EXPECT_NEAR(pb.Pmf(k), BinomialPmf(n, k, p), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  PoissonBinomial pb({0.1, 0.9, 0.5, 0.33, 0.67, 0.05});
+  double sum = 0;
+  for (size_t k = 0; k <= pb.n(); ++k) sum += pb.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PoissonBinomialTest, MeanIsSumOfProbabilities) {
+  std::vector<double> ps{0.2, 0.4, 0.9};
+  PoissonBinomial pb(ps);
+  EXPECT_NEAR(pb.Mean(), 1.5, 1e-12);
+  // E[S] from the PMF must agree.
+  double mean = 0;
+  for (size_t k = 0; k <= pb.n(); ++k) {
+    mean += static_cast<double>(k) * pb.Pmf(k);
+  }
+  EXPECT_NEAR(mean, 1.5, 1e-9);
+}
+
+TEST(PoissonBinomialTest, DeterministicCases) {
+  PoissonBinomial all_ones(std::vector<double>(5, 1.0));
+  EXPECT_NEAR(all_ones.Pmf(5), 1.0, 1e-9);
+  EXPECT_NEAR(all_ones.Survival(5), 1.0, 1e-9);
+
+  PoissonBinomial all_zeros(std::vector<double>(5, 0.0));
+  EXPECT_NEAR(all_zeros.Pmf(0), 1.0, 1e-9);
+  EXPECT_NEAR(all_zeros.Survival(1), 0.0, 1e-9);
+}
+
+TEST(PoissonBinomialTest, SurvivalMonotoneDecreasingInK) {
+  PoissonBinomial pb(std::vector<double>(50, 0.3));
+  for (size_t k = 1; k <= 50; ++k) {
+    EXPECT_LE(pb.Survival(k), pb.Survival(k - 1) + 1e-12);
+  }
+}
+
+TEST(PoissonBinomialTest, SurvivalBeyondNIsZero) {
+  PoissonBinomial pb({0.5, 0.5});
+  EXPECT_NEAR(pb.Survival(3), 0.0, 1e-12);
+  EXPECT_NEAR(pb.Pmf(99), 0.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, ProbabilitiesClampedToUnitInterval) {
+  PoissonBinomial pb({-0.5, 1.5});
+  EXPECT_NEAR(pb.Pmf(1), 1.0, 1e-9);  // exactly the clamped-to-1 trial
+}
+
+// The paper's §III-B4 figure: with n = 50 uniform p_m the survival
+// probability reaches 0 as k approaches 50.
+TEST(PoissonBinomialTest, PaperFigureBehaviorN50) {
+  std::vector<double> ps(50);
+  for (size_t i = 0; i < 50; ++i) {
+    ps[i] = static_cast<double>(i + 1) / 51.0;  // spread over (0,1)
+  }
+  PoissonBinomial pb(ps);
+  EXPECT_DOUBLE_EQ(pb.Survival(0), 1.0);
+  EXPECT_GT(pb.Survival(10), 0.9);   // mean is ~25
+  EXPECT_LT(pb.Survival(45), 1e-6);  // collapses near n
+  EXPECT_LT(pb.Survival(50), 1e-12);
+}
+
+TEST(MarkovBoundTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(MarkovSurvivalBound(5.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(MarkovSurvivalBound(5.0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(MarkovSurvivalBound(5.0, 5), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(MarkovSurvivalBound(0.0, 3), 0.0);
+}
+
+TEST(MarkovBoundTest, DominatesExactSurvival) {
+  // Markov's inequality: P(S >= k) <= mu/k for every k >= 1.
+  std::vector<double> ps{0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.4};
+  PoissonBinomial pb(ps);
+  for (size_t k = 1; k <= ps.size(); ++k) {
+    EXPECT_LE(pb.Survival(k), MarkovSurvivalBound(pb.Mean(), k) + 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(PairFalsePositiveTest, CountsPassingResidues) {
+  // residues {0..t} of s pass.
+  EXPECT_DOUBLE_EQ(PairFalsePositiveProbability(0, 100), 0.01);
+  EXPECT_DOUBLE_EQ(PairFalsePositiveProbability(9, 100), 0.1);
+  EXPECT_DOUBLE_EQ(PairFalsePositiveProbability(99, 100), 1.0);
+  EXPECT_DOUBLE_EQ(PairFalsePositiveProbability(200, 100), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(PairFalsePositiveProbability(0, 0), 1.0);      // degenerate
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,139 @@
+#include "stats/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(std::vector<HistogramEntry> entries) {
+  auto h = Histogram::FromCounts(std::move(entries));
+  EXPECT_TRUE(h.ok());
+  return std::move(h).value();
+}
+
+TEST(CosineTest, IdenticalVectorsAreOne) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(CosineTest, ScaledVectorsAreOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsAreZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+}
+
+TEST(CosineTest, ZeroVectorEdgeCases) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 1}, {0, 0}), 0.0);
+}
+
+TEST(CosineTest, DifferentLengthsZeroPad) {
+  EXPECT_NEAR(CosineSimilarity({3, 4}, {3, 4, 0}),
+              CosineSimilarity({3, 4, 0}, {3, 4, 0}), 1e-12);
+}
+
+TEST(HistogramSimilarityTest, IdenticalHistograms) {
+  Histogram h = MakeHist({{"a", 10}, {"b", 5}});
+  EXPECT_DOUBLE_EQ(HistogramSimilarity(h, h), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramSimilarityPercent(h, h), 100.0);
+}
+
+TEST(HistogramSimilarityTest, AlignsByTokenNotRank) {
+  // Same multiset of counts but swapped tokens: similarity must drop.
+  Histogram a = MakeHist({{"x", 100}, {"y", 1}});
+  Histogram b = MakeHist({{"x", 1}, {"y", 100}});
+  EXPECT_LT(HistogramSimilarity(a, b), 0.1);
+}
+
+TEST(HistogramSimilarityTest, DisjointTokensAreOrthogonal) {
+  Histogram a = MakeHist({{"a", 5}});
+  Histogram b = MakeHist({{"b", 5}});
+  EXPECT_DOUBLE_EQ(HistogramSimilarity(a, b), 0.0);
+}
+
+TEST(HistogramSimilarityTest, SmallPerturbationStaysNearOne) {
+  Histogram a = MakeHist({{"a", 1098}, {"b", 980}, {"c", 674}, {"d", 537}});
+  Histogram b = MakeHist({{"a", 1075}, {"b", 981}, {"c", 673}, {"d", 559}});
+  EXPECT_GT(HistogramSimilarity(a, b), 0.999);
+}
+
+TEST(HistogramSimilarityTest, NormalizedL1Metric) {
+  Histogram a = MakeHist({{"a", 10}});
+  Histogram b = MakeHist({{"a", 10}});
+  EXPECT_DOUBLE_EQ(
+      HistogramSimilarity(a, b, SimilarityMetric::kNormalizedL1), 1.0);
+  Histogram c = MakeHist({{"a", 30}});
+  // |30-10| / (30+10) = 0.5 -> similarity 0.5.
+  EXPECT_DOUBLE_EQ(
+      HistogramSimilarity(a, c, SimilarityMetric::kNormalizedL1), 0.5);
+}
+
+TEST(HistogramSimilarityTest, MinMaxRatioMetric) {
+  Histogram a = MakeHist({{"a", 10}, {"b", 20}});
+  Histogram b = MakeHist({{"a", 20}, {"b", 10}});
+  // sum(min)=20, sum(max)=40.
+  EXPECT_DOUBLE_EQ(
+      HistogramSimilarity(a, b, SimilarityMetric::kMinMaxRatio), 0.5);
+}
+
+TEST(IncrementalCosineTest, StartsAtOne) {
+  Histogram h = MakeHist({{"a", 100}, {"b", 50}});
+  IncrementalCosine c(h);
+  EXPECT_DOUBLE_EQ(c.Similarity(), 1.0);
+  EXPECT_DOUBLE_EQ(c.SimilarityPercent(), 100.0);
+}
+
+TEST(IncrementalCosineTest, MatchesFullRecomputation) {
+  Histogram h =
+      MakeHist({{"a", 1098}, {"b", 980}, {"c", 674}, {"d", 537}, {"e", 64}});
+  IncrementalCosine inc(h);
+  inc.ApplyDelta(0, -23);
+  inc.ApplyDelta(3, +22);
+  inc.ApplyDelta(4, +1);
+
+  Histogram modified = h;
+  ASSERT_TRUE(modified.AddDelta("a", -23).ok());
+  ASSERT_TRUE(modified.AddDelta("d", +22).ok());
+  ASSERT_TRUE(modified.AddDelta("e", +1).ok());
+  EXPECT_NEAR(inc.Similarity(), HistogramSimilarity(h, modified), 1e-12);
+}
+
+TEST(IncrementalCosineTest, ProbeDoesNotCommit) {
+  Histogram h = MakeHist({{"a", 100}, {"b", 50}, {"c", 25}});
+  IncrementalCosine inc(h);
+  double probed = inc.ProbePairDelta(0, -30, 2, +30);
+  EXPECT_LT(probed, 1.0);
+  EXPECT_DOUBLE_EQ(inc.Similarity(), 1.0);  // untouched
+}
+
+TEST(IncrementalCosineTest, ProbeEqualsApply) {
+  Histogram h = MakeHist({{"a", 500}, {"b", 250}, {"c", 125}, {"d", 60}});
+  IncrementalCosine inc(h);
+  inc.ApplyDelta(1, -7);
+  double probed = inc.ProbePairDelta(0, -10, 3, +9);
+  inc.ApplyDelta(0, -10);
+  inc.ApplyDelta(3, +9);
+  EXPECT_NEAR(probed, inc.Similarity(), 1e-12);
+}
+
+TEST(IncrementalCosineTest, SequenceOfPairsMatchesBatch) {
+  Histogram h = MakeHist(
+      {{"t0", 9000}, {"t1", 7000}, {"t2", 5000}, {"t3", 3000}, {"t4", 1000}});
+  IncrementalCosine inc(h);
+  Histogram modified = h;
+  struct Step {
+    size_t rank;
+    int64_t delta;
+  };
+  for (const Step& s : std::vector<Step>{
+           {0, 120}, {1, -80}, {2, 33}, {3, -12}, {4, 5}}) {
+    inc.ApplyDelta(s.rank, s.delta);
+    ASSERT_TRUE(modified.AddDelta(h.entry(s.rank).token, s.delta).ok());
+  }
+  EXPECT_NEAR(inc.Similarity(), HistogramSimilarity(h, modified), 1e-12);
+}
+
+}  // namespace
+}  // namespace freqywm
