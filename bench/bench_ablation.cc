@@ -7,11 +7,15 @@
 //   (4) min_modulus 2 (paper) vs 16 (hardened) — false-positive wall vs
 //       pair-count cost;
 //   (5) one-sided vs symmetric residue detection under a downward attack.
+//
+// Each profile is an `OptionBag` handed to the "freqywm" factory entry, so
+// the ablation grid is a table of option strings and the lifecycle runs
+// through the `WatermarkScheme` interface.
 
-#include "attacks/destroy.h"
+#include "api/factory.h"
 #include "bench_common.h"
-#include "core/detect.h"
 #include "core/eligible.h"
+#include "core/secrets.h"
 
 namespace fb = freqywm::bench;
 using namespace freqywm;
@@ -20,40 +24,43 @@ namespace {
 
 struct Profile {
   const char* name;
-  uint64_t min_modulus;
-  uint64_t min_pair_cost;
-  WeightFormula weight;
+  const char* options;  // OptionBag::FromString input
 };
 
 void RunProfile(const Histogram& original, const Histogram& unrelated,
                 const Profile& profile) {
-  GenerateOptions o =
-      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
-  o.min_modulus = profile.min_modulus;
-  o.min_pair_cost = profile.min_pair_cost;
-  o.weight_formula = profile.weight;
-  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  auto bag = OptionBag::FromString(profile.options);
+  if (!bag.ok()) {
+    std::printf("%-24s bad options: %s\n", profile.name,
+                bag.status().ToString().c_str());
+    return;
+  }
+  auto scheme = SchemeFactory::Create("freqywm", bag.value());
+  if (!scheme.ok()) {
+    std::printf("%-24s factory failed: %s\n", profile.name,
+                scheme.status().ToString().c_str());
+    return;
+  }
+  auto r = scheme.value()->Embed(original);
   if (!r.ok()) {
     std::printf("%-24s generation failed: %s\n", profile.name,
                 r.status().ToString().c_str());
     return;
   }
+  const SchemeKey& key = r.value().key;
   DetectOptions strict;
   strict.pair_threshold = 0;
   strict.min_pairs = 1;
   double on_orig =
-      DetectWatermark(original, r.value().report.secrets, strict)
-          .verified_fraction;
+      scheme.value()->Detect(original, key, strict).verified_fraction;
   double on_unrelated =
-      DetectWatermark(unrelated, r.value().report.secrets, strict)
-          .verified_fraction;
+      scheme.value()->Detect(unrelated, key, strict).verified_fraction;
   DetectOptions relaxed = strict;
   relaxed.pair_threshold = 4;
   double on_unrelated_t4 =
-      DetectWatermark(unrelated, r.value().report.secrets, relaxed)
-          .verified_fraction;
+      scheme.value()->Detect(unrelated, key, relaxed).verified_fraction;
   std::printf("%-24s %-8zu %-8llu %-12.3f %-12.3f %-12.3f %-10.4f\n",
-              profile.name, r.value().report.chosen_pairs,
+              profile.name, r.value().report.embedded_units,
               static_cast<unsigned long long>(r.value().report.total_churn),
               on_orig, on_unrelated, on_unrelated_t4,
               r.value().report.similarity_percent);
@@ -84,24 +91,38 @@ int main() {
               "chosen", "churn", "orig@t0", "unrel@t0", "unrel@t4",
               "sim%");
   const Profile profiles[] = {
-      {"paper-bare", 2, 0, WeightFormula::kPaperRemainder},
-      {"default(cost>=1)", 2, 1, WeightFormula::kPaperRemainder},
-      {"effective-cost-weight", 2, 1, WeightFormula::kEffectiveCost},
-      {"hardened(s>=16)", 16, 1, WeightFormula::kPaperRemainder},
-      {"hardened(s>=32)", 32, 1, WeightFormula::kPaperRemainder},
+      {"paper-bare",
+       "budget=2.0,z=131,seed=42,min_modulus=2,min_pair_cost=0"},
+      {"default(cost>=1)",
+       "budget=2.0,z=131,seed=42,min_modulus=2,min_pair_cost=1"},
+      {"effective-cost-weight",
+       "budget=2.0,z=131,seed=42,min_modulus=2,min_pair_cost=1,"
+       "weight=effective-cost"},
+      {"hardened(s>=16)",
+       "budget=2.0,z=131,seed=42,min_modulus=16,min_pair_cost=1"},
+      {"hardened(s>=32)",
+       "budget=2.0,z=131,seed=42,min_modulus=32,min_pair_cost=1"},
   };
   for (const auto& p : profiles) RunProfile(original, unrelated, p);
 
   std::printf("\n-- (5) one-sided vs symmetric residue detection --\n");
-  GenerateOptions o =
-      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 43);
-  o.min_modulus = 8;
-  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  OptionBag bag;
+  bag.Set("budget", "2.0");
+  bag.Set("z", "131");
+  bag.Set("seed", "43");
+  bag.Set("min_modulus", "8");
+  auto scheme = SchemeFactory::Create("freqywm", bag);
+  auto r = scheme.ok() ? scheme.value()->Embed(original)
+                       : Result<EmbedOutcome>(scheme.status());
   if (r.ok()) {
-    // Downward drift: every watermarked token loses a tiny fraction.
+    // Downward drift: every watermarked token loses a tiny fraction. The
+    // drift targets come from the key payload — owner-side introspection.
+    auto secrets = WatermarkSecrets::Deserialize(r.value().key.payload);
     Histogram drifted = r.value().watermarked;
-    for (const auto& pair : r.value().report.secrets.pairs) {
-      (void)drifted.AddDelta(pair.token_i, -1);
+    if (secrets.ok()) {
+      for (const auto& pair : secrets.value().pairs) {
+        (void)drifted.AddDelta(pair.token_i, -1);
+      }
     }
     for (uint64_t t : {1ull, 2ull}) {
       DetectOptions one;
@@ -111,9 +132,11 @@ int main() {
       sym.symmetric_residue = true;
       std::printf("t=%llu one-sided %.3f vs symmetric %.3f\n",
                   static_cast<unsigned long long>(t),
-                  DetectWatermark(drifted, r.value().report.secrets, one)
+                  scheme.value()
+                      ->Detect(drifted, r.value().key, one)
                       .verified_fraction,
-                  DetectWatermark(drifted, r.value().report.secrets, sym)
+                  scheme.value()
+                      ->Detect(drifted, r.value().key, sym)
                       .verified_fraction);
     }
   }

@@ -8,9 +8,16 @@
 // t = 0; the full-boundary attack rising from ~35% at t = 0 toward ~90% by
 // t = 10; D_non rising with t (the false-positive wall) — usable (t, k)
 // settings live between the attack curves and the D_non curve.
+//
+// Converted to the unified API: embedding/detection go through
+// `WatermarkScheme` ("freqywm" from the factory) and the two destroy
+// attacks are `Attack` adapters — the attack columns are data, not code.
 
-#include "attacks/destroy.h"
-#include "core/detect.h"
+#include <memory>
+#include <vector>
+
+#include "api/attack.h"
+#include "api/factory.h"
 #include "bench_common.h"
 
 namespace fb = freqywm::bench;
@@ -20,19 +27,30 @@ namespace {
 
 void RunPanel(const Histogram& original, const Histogram& non_watermarked,
               uint64_t min_modulus) {
-  GenerateOptions o =
-      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
-  o.min_modulus = min_modulus;
-  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  OptionBag bag;
+  bag.Set("budget", "2.0");
+  bag.Set("z", "131");
+  bag.Set("seed", "42");
+  bag.Set("min_modulus", std::to_string(min_modulus));
+  auto scheme = SchemeFactory::Create("freqywm", bag);
+  if (!scheme.ok()) {
+    std::printf("factory failed: %s\n", scheme.status().ToString().c_str());
+    return;
+  }
+  auto r = scheme.value()->Embed(original);
   if (!r.ok()) {
     std::printf("generation failed: %s\n", r.status().ToString().c_str());
     return;
   }
   const Histogram& wm = r.value().watermarked;
-  const auto& secrets = r.value().report.secrets;
+  const SchemeKey& key = r.value().key;
   std::printf("min_modulus = %llu, watermarked pairs: %zu (paper: 139)\n",
               static_cast<unsigned long long>(min_modulus),
-              r.value().report.chosen_pairs);
+              r.value().report.embedded_units);
+
+  std::vector<std::unique_ptr<Attack>> attacks;
+  attacks.push_back(MakeWithinBoundariesAttack());
+  attacks.push_back(MakePercentOfBoundaryAttack(1.0));
 
   const int kAttackReps = 10;
   std::printf("%-6s %-10s %-10s %-14s %-14s\n", "t", "Dw", "Dnon",
@@ -41,24 +59,22 @@ void RunPanel(const Histogram& original, const Histogram& non_watermarked,
     DetectOptions d;
     d.pair_threshold = t;
     d.min_pairs = 1;
-    double clean = DetectWatermark(wm, secrets, d).verified_fraction;
-    double non = DetectWatermark(non_watermarked, secrets, d)
+    double clean = scheme.value()->Detect(wm, key, d).verified_fraction;
+    double non = scheme.value()
+                     ->Detect(non_watermarked, key, d)
                      .verified_fraction;
-    double rand_attack = 0, pct_attack = 0;
+    std::vector<double> attacked(attacks.size(), 0.0);
     for (int rep = 0; rep < kAttackReps; ++rep) {
-      Rng rng_a(100 + static_cast<uint64_t>(rep));
-      Rng rng_b(200 + static_cast<uint64_t>(rep));
-      rand_attack += DetectWatermark(
-                         DestroyAttackWithinBoundaries(wm, rng_a), secrets, d)
-                         .verified_fraction;
-      pct_attack +=
-          DetectWatermark(DestroyAttackPercentOfBoundary(wm, 1.0, rng_b),
-                          secrets, d)
-              .verified_fraction;
+      for (size_t a = 0; a < attacks.size(); ++a) {
+        Rng rng(100 * (a + 1) + static_cast<uint64_t>(rep));
+        attacked[a] += scheme.value()
+                           ->Detect(attacks[a]->Apply(wm, rng), key, d)
+                           .verified_fraction;
+      }
     }
     std::printf("%-6llu %-10.3f %-10.3f %-14.3f %-14.3f\n",
                 static_cast<unsigned long long>(t), clean, non,
-                rand_attack / kAttackReps, pct_attack / kAttackReps);
+                attacked[0] / kAttackReps, attacked[1] / kAttackReps);
   }
   std::printf("\n");
 }

@@ -1,11 +1,20 @@
 // freqywm_cli: command-line front end for the library, so datasets can be
 // watermarked and verified without writing C++.
 //
-//   freqywm_cli generate <tokens-in> <tokens-out> <secrets-out>
+//   freqywm_cli generate <tokens-in> <tokens-out> <key-out>
+//               [--scheme NAME] [--opt k=v,...]
 //               [--budget B] [--z Z] [--min-modulus M] [--strategy S]
 //               [--seed N]
-//   freqywm_cli detect   <tokens-in> <secrets-in> [--t T] [--k K]
+//   freqywm_cli detect   <tokens-in> <key-in> [--t T] [--k K]
 //               [--symmetric] [--original-size N]
+//   freqywm_cli schemes
+//
+// Schemes are selected at runtime through the `SchemeFactory`; `--opt`
+// passes scheme-specific options as a generic bag (see `schemes` for the
+// registered names). The legacy FreqyWM flags (--budget, --z, ...) remain
+// as shorthands for the equivalent bag entries. `detect` reads both the
+// scheme-tagged key files this tool now writes and legacy FreqyWM secrets
+// files.
 //
 // Token files are one token per line (data/io.h).
 
@@ -15,8 +24,9 @@
 #include <string>
 #include <vector>
 
-#include "core/detect.h"
-#include "core/watermark.h"
+#include "api/factory.h"
+#include "api/scheme.h"
+#include "core/secrets.h"
 #include "data/io.h"
 
 using namespace freqywm;
@@ -27,11 +37,13 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  freqywm_cli generate <in> <out> <secrets> [--budget B] [--z Z]\n"
+      "  freqywm_cli generate <in> <out> <key> [--scheme NAME]\n"
+      "              [--opt k=v,...] [--budget B] [--z Z]\n"
       "              [--min-modulus M] [--strategy optimal|greedy|random]\n"
       "              [--seed N]\n"
-      "  freqywm_cli detect <in> <secrets> [--t T] [--k K] [--symmetric]\n"
-      "              [--original-size N]\n");
+      "  freqywm_cli detect <in> <key> [--t T] [--k K] [--symmetric]\n"
+      "              [--original-size N]\n"
+      "  freqywm_cli schemes\n");
 }
 
 bool ParseFlag(int argc, char** argv, int& i, const char* name,
@@ -52,35 +64,47 @@ int RunGenerate(int argc, char** argv) {
   }
   const std::string in_path = argv[2];
   const std::string out_path = argv[3];
-  const std::string secrets_path = argv[4];
+  const std::string key_path = argv[4];
 
-  GenerateOptions options;
-  options.modulus_bound = 131;
+  std::string scheme_name = "freqywm";
+  OptionBag bag;
   for (int i = 5; i < argc; ++i) {
     std::string v;
-    if (ParseFlag(argc, argv, i, "--budget", &v)) {
-      options.budget_percent = std::atof(v.c_str());
-    } else if (ParseFlag(argc, argv, i, "--z", &v)) {
-      options.modulus_bound = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argc, argv, i, "--min-modulus", &v)) {
-      options.min_modulus = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argc, argv, i, "--seed", &v)) {
-      options.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argc, argv, i, "--strategy", &v)) {
-      if (v == "optimal") {
-        options.strategy = SelectionStrategy::kOptimal;
-      } else if (v == "greedy") {
-        options.strategy = SelectionStrategy::kGreedy;
-      } else if (v == "random") {
-        options.strategy = SelectionStrategy::kRandom;
-      } else {
-        std::fprintf(stderr, "unknown strategy '%s'\n", v.c_str());
+    if (ParseFlag(argc, argv, i, "--scheme", &v)) {
+      scheme_name = v;
+    } else if (ParseFlag(argc, argv, i, "--opt", &v)) {
+      auto parsed = OptionBag::FromString(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --opt: %s\n",
+                     parsed.status().ToString().c_str());
         return 2;
       }
+      for (const auto& [key, value] : parsed.value().entries()) {
+        bag.Set(key, value);
+      }
+    } else if (ParseFlag(argc, argv, i, "--budget", &v)) {
+      bag.Set("budget", v);
+    } else if (ParseFlag(argc, argv, i, "--z", &v)) {
+      bag.Set("z", v);
+    } else if (ParseFlag(argc, argv, i, "--min-modulus", &v)) {
+      bag.Set("min_modulus", v);
+    } else if (ParseFlag(argc, argv, i, "--seed", &v)) {
+      bag.Set("seed", v);
+    } else if (ParseFlag(argc, argv, i, "--strategy", &v)) {
+      bag.Set("strategy", v);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
     }
+  }
+  // Historical CLI default: z = 131 unless the caller picks one.
+  if (scheme_name == "freqywm" && !bag.Has("z")) bag.Set("z", "131");
+
+  auto scheme = SchemeFactory::Create(scheme_name, bag);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "cannot create scheme '%s': %s\n",
+                 scheme_name.c_str(), scheme.status().ToString().c_str());
+    return 2;
   }
 
   auto dataset = ReadTokenFile(in_path);
@@ -89,7 +113,7 @@ int RunGenerate(int argc, char** argv) {
                  dataset.status().ToString().c_str());
     return 1;
   }
-  auto result = WatermarkGenerator(options).Generate(dataset.value());
+  auto result = scheme.value()->EmbedDataset(dataset.value());
   if (!result.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  result.status().ToString().c_str());
@@ -101,21 +125,29 @@ int RunGenerate(int argc, char** argv) {
                  s.ToString().c_str());
     return 1;
   }
-  if (Status s = result.value().report.secrets.SaveToFile(secrets_path);
-      !s.ok()) {
-    std::fprintf(stderr, "cannot write secrets: %s\n",
-                 s.ToString().c_str());
+  if (Status s = result.value().key.SaveToFile(key_path); !s.ok()) {
+    std::fprintf(stderr, "cannot write key: %s\n", s.ToString().c_str());
     return 1;
   }
-  const GenerateReport& report = result.value().report;
-  std::printf("embedded %zu pairs (|Le| = %zu), similarity %.4f%%, "
-              "churn %llu rows\n",
-              report.chosen_pairs, report.eligible_pairs,
-              report.similarity_percent,
+  const EmbedReport& report = result.value().report;
+  std::printf("scheme %s: embedded %zu units (of %zu eligible), "
+              "similarity %.4f%%, churn %llu rows\n",
+              scheme_name.c_str(), report.embedded_units,
+              report.eligible_units, report.similarity_percent,
               static_cast<unsigned long long>(report.total_churn));
-  std::printf("watermarked tokens -> %s\nsecrets -> %s (keep private!)\n",
-              out_path.c_str(), secrets_path.c_str());
+  std::printf("watermarked tokens -> %s\nscheme key -> %s (keep private!)\n",
+              out_path.c_str(), key_path.c_str());
   return 0;
+}
+
+/// Reads a scheme-tagged key file, falling back to a legacy FreqyWM
+/// secrets file (the format this CLI wrote before the API redesign).
+Result<SchemeKey> LoadKey(const std::string& path) {
+  auto key = SchemeKey::LoadFromFile(path);
+  if (key.ok() || key.status().code() == StatusCode::kNotFound) return key;
+  auto secrets = WatermarkSecrets::LoadFromFile(path);
+  if (!secrets.ok()) return key.status();  // report the key error
+  return SchemeKey{"freqywm", secrets.value().Serialize()};
 }
 
 int RunDetect(int argc, char** argv) {
@@ -124,17 +156,31 @@ int RunDetect(int argc, char** argv) {
     return 2;
   }
   const std::string in_path = argv[2];
-  const std::string secrets_path = argv[3];
-  DetectOptions options;
+  const std::string key_path = argv[3];
+
+  auto key = LoadKey(key_path);
+  if (!key.ok()) {
+    std::fprintf(stderr, "cannot read key: %s\n",
+                 key.status().ToString().c_str());
+    return 1;
+  }
+  auto scheme = SchemeFactory::Create(key.value().scheme);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "key is for scheme '%s': %s\n",
+                 key.value().scheme.c_str(),
+                 scheme.status().ToString().c_str());
+    return 1;
+  }
+
+  DetectOptions options =
+      scheme.value()->RecommendedDetectOptions(key.value());
   uint64_t original_size = 0;
-  bool k_given = false;
   for (int i = 4; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argc, argv, i, "--t", &v)) {
       options.pair_threshold = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argc, argv, i, "--k", &v)) {
       options.min_pairs = std::strtoull(v.c_str(), nullptr, 10);
-      k_given = true;
     } else if (ParseFlag(argc, argv, i, "--original-size", &v)) {
       original_size = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--symmetric") == 0) {
@@ -151,29 +197,27 @@ int RunDetect(int argc, char** argv) {
                  dataset.status().ToString().c_str());
     return 1;
   }
-  auto secrets = WatermarkSecrets::LoadFromFile(secrets_path);
-  if (!secrets.ok()) {
-    std::fprintf(stderr, "cannot read secrets: %s\n",
-                 secrets.status().ToString().c_str());
-    return 1;
-  }
-  if (!k_given) {
-    options.min_pairs = std::max<size_t>(1, secrets.value().pairs.size() / 2);
-  }
   if (original_size > 0 && dataset.value().size() > 0) {
     options.rescale_factor = static_cast<double>(original_size) /
                              static_cast<double>(dataset.value().size());
   }
 
   DetectResult result =
-      DetectWatermark(dataset.value(), secrets.value(), options);
-  std::printf("pairs found %zu, verified %zu of %zu (%.1f%%)\n",
-              result.pairs_found, result.pairs_verified,
-              secrets.value().pairs.size(),
-              result.verified_fraction * 100);
+      scheme.value()->Detect(dataset.value(), key.value(), options);
+  std::printf("scheme %s: units found %zu, verified %zu (%.1f%%)\n",
+              key.value().scheme.c_str(), result.pairs_found,
+              result.pairs_verified, result.verified_fraction * 100);
   std::printf("verdict: %s\n",
               result.accepted ? "WATERMARK DETECTED" : "not detected");
   return result.accepted ? 0 : 3;
+}
+
+int RunSchemes() {
+  std::printf("registered schemes:\n");
+  for (const std::string& name : SchemeFactory::RegisteredNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -185,6 +229,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "generate") == 0) return RunGenerate(argc, argv);
   if (std::strcmp(argv[1], "detect") == 0) return RunDetect(argc, argv);
+  if (std::strcmp(argv[1], "schemes") == 0) return RunSchemes();
   Usage();
   return 2;
 }

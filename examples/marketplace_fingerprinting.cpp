@@ -1,9 +1,10 @@
 // Marketplace fingerprinting: the leak-tracing use case from the paper's
 // introduction. A data seller embeds a DIFFERENT watermark for every buyer
-// and records each secret in an (immutable) index. When a pirated copy
-// surfaces — here disguised by the pirate with random frequency noise —
-// the seller looks it up against the index and identifies which buyer
-// leaked it.
+// and records each scheme-tagged key in an (immutable) index — here the
+// library's `FingerprintRegistry`. When a pirated copy surfaces — disguised
+// by the pirate with random frequency noise — `Trace` runs every escrowed
+// key against it through the `WatermarkScheme` interface and identifies
+// which buyer leaked it.
 //
 // Parameter note: fingerprinting needs pairs whose moduli comfortably
 // exceed both the pirate's noise and the detection threshold, otherwise
@@ -17,24 +18,13 @@
 #include <string>
 #include <vector>
 
-#include "attacks/destroy.h"
-#include "core/detect.h"
-#include "core/watermark.h"
+#include "analysis/registry.h"
+#include "api/attack.h"
+#include "api/factory.h"
+#include "core/secrets.h"
 #include "datagen/real_world.h"
 
 using namespace freqywm;
-
-namespace {
-
-/// One row of the seller's escrow index (a blockchain in the paper; a
-/// vector here).
-struct BuyerRecord {
-  std::string buyer;
-  WatermarkSecrets secrets;
-  size_t chosen_pairs;
-};
-
-}  // namespace
 
 int main() {
   // The asset: a taxi-trip style dataset (token = taxi id).
@@ -44,23 +34,31 @@ int main() {
               static_cast<unsigned long long>(master.total_count()),
               master.num_tokens());
 
-  // Sell three copies, each with its own fingerprint.
-  GenerateOptions base;
-  base.budget_percent = 2.0;
-  base.modulus_bound = 67;
-  base.min_modulus = 16;
-  // Every fingerprint pair must have required a real frequency change
-  // well beyond the detection threshold, so other buyers' copies cannot
-  // verify it by proximity.
-  base.min_pair_cost = 8;
+  // Sell three copies, each with its own fingerprint. The embedding knobs
+  // travel as a generic option bag; only the per-buyer seed varies.
+  //
+  // min_pair_cost=8 is fingerprint hygiene: every pair must have required
+  // a real frequency change well beyond the detection threshold, so other
+  // buyers' copies cannot verify it by proximity.
   const char* buyers[] = {"acme-analytics", "hedgefund-42", "adtech-co"};
-  std::vector<BuyerRecord> index;
+  FingerprintRegistry registry;
   std::vector<Histogram> delivered;
+  size_t min_fingerprint_pairs = 0;
 
   for (size_t i = 0; i < 3; ++i) {
-    GenerateOptions o = base;
-    o.seed = 1000 + i;  // per-buyer secret
-    auto r = WatermarkGenerator(o).GenerateFromHistogram(master);
+    OptionBag bag;
+    bag.Set("budget", "2.0");
+    bag.Set("z", "67");
+    bag.Set("min_modulus", "16");
+    bag.Set("min_pair_cost", "8");
+    bag.Set("seed", std::to_string(1000 + i));  // per-buyer secret
+    auto scheme = SchemeFactory::Create("freqywm", bag);
+    if (!scheme.ok()) {
+      std::printf("factory failed: %s\n",
+                  scheme.status().ToString().c_str());
+      return 1;
+    }
+    auto r = scheme.value()->Embed(master);
     if (!r.ok()) {
       std::printf("generation for %s failed: %s\n", buyers[i],
                   r.status().ToString().c_str());
@@ -68,11 +66,17 @@ int main() {
     }
     std::printf("delivered to %-16s %zu fingerprint pairs, similarity "
                 "%.4f%%\n",
-                buyers[i], r.value().report.chosen_pairs,
+                buyers[i], r.value().report.embedded_units,
                 r.value().report.similarity_percent);
-    index.push_back(BuyerRecord{buyers[i],
-                                std::move(r.value().report.secrets),
-                                r.value().report.chosen_pairs});
+    if (min_fingerprint_pairs == 0 ||
+        r.value().report.embedded_units < min_fingerprint_pairs) {
+      min_fingerprint_pairs = r.value().report.embedded_units;
+    }
+    if (Status s = registry.Register(buyers[i], std::move(r.value().key));
+        !s.ok()) {
+      std::printf("escrow failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
     delivered.push_back(std::move(r.value().watermarked));
   }
 
@@ -81,35 +85,33 @@ int main() {
   // boundary — the §V-C1 destroy attack a cautious pirate would mount).
   Rng pirate_rng(555);
   Histogram pirated =
-      DestroyAttackPercentOfBoundary(delivered[1], 4.0, pirate_rng);
+      MakePercentOfBoundaryAttack(4.0)->Apply(delivered[1], pirate_rng);
   std::printf("\npirated (noise-disguised) copy found: %llu rows\n",
               static_cast<unsigned long long>(pirated.total_count()));
 
-  // Trace: run every escrowed secret against the pirated copy. The true
+  // Trace: the registry runs every escrowed key against the pirated copy
+  // through its scheme's Detect — no per-buyer plumbing here. The true
   // origin verifies far above the chance floor; innocents stay below k.
-  std::printf("\n%-16s %-12s %-10s\n", "buyer", "verified", "verdict");
-  const BuyerRecord* culprit = nullptr;
-  double best_fraction = 0;
-  for (const auto& record : index) {
-    DetectOptions d;
-    d.pair_threshold = 3;        // covers the pirate's noise
-    d.symmetric_residue = true;  // noise drifts residues both ways
-    d.min_pairs = std::max<size_t>(1, record.chosen_pairs / 2);
-    DetectResult r = DetectWatermark(pirated, record.secrets, d);
-    std::printf("%-16s %zu/%-9zu %-10s\n", record.buyer.c_str(),
-                r.pairs_verified, record.chosen_pairs,
-                r.accepted ? "MATCH" : "-");
-    if (r.accepted && r.verified_fraction > best_fraction) {
-      best_fraction = r.verified_fraction;
-      culprit = &record;
-    }
+  DetectOptions d;
+  d.pair_threshold = 3;        // covers the pirate's noise
+  d.symmetric_residue = true;  // noise drifts residues both ways
+  d.min_pairs = std::max<size_t>(1, min_fingerprint_pairs / 2);
+  std::vector<TraceMatch> matches = registry.Trace(pirated, d);
+
+  std::printf("\n%-16s %-10s %-12s\n", "buyer", "scheme", "verified");
+  for (const TraceMatch& match : matches) {
+    std::printf("%-16s %-10s %zu/%zu (%.0f%%)\n", match.buyer_id.c_str(),
+                match.scheme.c_str(), match.detection.pairs_verified,
+                match.detection.pairs_found,
+                match.detection.verified_fraction * 100);
   }
-  if (culprit) {
+  if (!matches.empty()) {
     std::printf("\nleak traced to: %s (%.0f%% of fingerprint pairs "
                 "verified)\n",
-                culprit->buyer.c_str(), best_fraction * 100);
+                matches[0].buyer_id.c_str(),
+                matches[0].detection.verified_fraction * 100);
   } else {
     std::printf("\nno buyer matched — copy may predate fingerprinting\n");
   }
-  return culprit ? 0 : 1;
+  return matches.empty() ? 1 : 0;
 }

@@ -1,20 +1,59 @@
 #include "analysis/registry.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <sstream>
 
+#include "api/factory.h"
 #include "common/string_util.h"
 
 namespace freqywm {
 
 namespace {
-constexpr char kMagic[] = "freqywm-registry v1";
+constexpr char kMagicV1[] = "freqywm-registry v1";
+constexpr char kMagicV2[] = "freqywm-registry v2";
+
+/// Schemes needed by a trace, instantiated once per distinct tag.
+/// Detection parameters live entirely in each record's key, so
+/// default-configured scheme objects suffice.
+class SchemeCache {
+ public:
+  const WatermarkScheme* Get(const std::string& name) {
+    auto it = schemes_.find(name);
+    if (it == schemes_.end()) {
+      auto created = SchemeFactory::Create(name);
+      it = schemes_
+               .emplace(name, created.ok() ? std::move(created).value()
+                                           : nullptr)
+               .first;
+    }
+    return it->second.get();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<WatermarkScheme>> schemes_;
+};
+
+void SortStrongestFirst(std::vector<TraceMatch>& matches) {
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const TraceMatch& a, const TraceMatch& b) {
+                     return a.detection.verified_fraction >
+                            b.detection.verified_fraction;
+                   });
+}
+
 }  // namespace
 
 Status FingerprintRegistry::Register(const std::string& buyer_id,
-                                     WatermarkSecrets secrets) {
+                                     SchemeKey key) {
   if (buyer_id.empty() || buyer_id.find('\n') != std::string::npos) {
     return Status::InvalidArgument("buyer id must be a non-empty line");
+  }
+  if (key.scheme.empty() ||
+      key.scheme.find_first_of(" \t\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "scheme tag must be non-empty without whitespace");
   }
   for (const auto& r : records_) {
     if (r.buyer_id == buyer_id) {
@@ -22,37 +61,69 @@ Status FingerprintRegistry::Register(const std::string& buyer_id,
                                      "' already registered");
     }
   }
-  records_.push_back(FingerprintRecord{buyer_id, std::move(secrets)});
+  records_.push_back(FingerprintRecord{buyer_id, std::move(key)});
   return Status::OK();
 }
 
-std::vector<TraceMatch> FingerprintRegistry::Trace(
-    const Histogram& suspect, const DetectOptions& options) const {
+Status FingerprintRegistry::Register(const std::string& buyer_id,
+                                     const WatermarkSecrets& secrets) {
+  return Register(buyer_id, SchemeKey{"freqywm", secrets.Serialize()});
+}
+
+namespace {
+
+/// Shared trace loop; `options_for` picks the detection settings per
+/// record (fixed caller options vs the scheme's recommended ones).
+template <typename OptionsFor>
+std::vector<TraceMatch> TraceRecords(
+    const std::vector<FingerprintRecord>& records, const Histogram& suspect,
+    const OptionsFor& options_for) {
+  SchemeCache cache;
   std::vector<TraceMatch> matches;
-  for (const auto& record : records_) {
-    DetectResult r = DetectWatermark(suspect, record.secrets, options);
+  for (const auto& record : records) {
+    const WatermarkScheme* scheme = cache.Get(record.key.scheme);
+    if (!scheme) continue;  // scheme not registered in the factory
+    DetectResult r =
+        scheme->Detect(suspect, record.key, options_for(*scheme, record));
     if (r.accepted) {
-      matches.push_back(TraceMatch{record.buyer_id, r});
+      matches.push_back(TraceMatch{record.buyer_id, record.key.scheme, r});
     }
   }
-  std::stable_sort(matches.begin(), matches.end(),
-                   [](const TraceMatch& a, const TraceMatch& b) {
-                     return a.detection.verified_fraction >
-                            b.detection.verified_fraction;
-                   });
+  SortStrongestFirst(matches);
   return matches;
+}
+
+}  // namespace
+
+std::vector<TraceMatch> FingerprintRegistry::Trace(
+    const Histogram& suspect, const DetectOptions& options) const {
+  return TraceRecords(records_, suspect,
+                      [&options](const WatermarkScheme&,
+                                 const FingerprintRecord&) {
+                        return options;
+                      });
+}
+
+std::vector<TraceMatch> FingerprintRegistry::TraceWithRecommendedOptions(
+    const Histogram& suspect) const {
+  return TraceRecords(records_, suspect,
+                      [](const WatermarkScheme& scheme,
+                         const FingerprintRecord& record) {
+                        return scheme.RecommendedDetectOptions(record.key);
+                      });
 }
 
 std::string FingerprintRegistry::Serialize() const {
   std::ostringstream out;
-  out << kMagic << '\n';
+  out << kMagicV2 << '\n';
   out << "records " << records_.size() << '\n';
   for (const auto& record : records_) {
-    std::string secrets = record.secrets.Serialize();
-    size_t lines = static_cast<size_t>(
-        std::count(secrets.begin(), secrets.end(), '\n'));
-    out << "buyer " << lines << ' ' << record.buyer_id << '\n';
-    out << secrets;
+    // v2 counts payload BYTES (not lines) so payloads of out-of-tree
+    // schemes round-trip byte-exact whether or not they end in '\n'; a
+    // separator newline (outside the count) follows the payload.
+    out << "buyer " << record.key.payload.size() << ' '
+        << record.key.scheme << ' ' << record.buyer_id << '\n';
+    out << record.key.payload << '\n';
   }
   return out.str();
 }
@@ -61,13 +132,19 @@ Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
     const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+  if (!std::getline(in, line)) {
+    return Status::Corruption("empty registry text");
+  }
+  std::string_view magic = StripWhitespace(line);
+  bool v1 = magic == kMagicV1;
+  if (!v1 && magic != kMagicV2) {
     return Status::Corruption("bad registry magic");
   }
   if (!std::getline(in, line)) {
     return Status::Corruption("missing records line");
   }
-  std::vector<std::string> head = Split(std::string(StripWhitespace(line)), ' ');
+  std::vector<std::string> head =
+      Split(std::string(StripWhitespace(line)), ' ');
   if (head.size() != 2 || head[0] != "records" || !IsInteger(head[1])) {
     return Status::Corruption("malformed records line");
   }
@@ -78,27 +155,50 @@ Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
     if (!std::getline(in, line)) {
       return Status::Corruption("truncated registry");
     }
-    // "buyer <secret-lines> <buyer id...>"
+    // v2: "buyer <payload-bytes> <scheme> <buyer id...>"
+    // v1: "buyer <payload-lines> <buyer id...>" (implicitly freqywm)
     std::vector<std::string> parts = Split(line, ' ');
-    if (parts.size() < 3 || parts[0] != "buyer" || !IsInteger(parts[1])) {
+    size_t min_parts = v1 ? 3 : 4;
+    if (parts.size() < min_parts || parts[0] != "buyer" ||
+        !IsInteger(parts[1]) || parts[1][0] == '-') {
       return Status::Corruption("malformed buyer line");
     }
-    size_t secret_lines = std::stoull(parts[1]);
-    std::string buyer_id =
-        line.substr(parts[0].size() + 1 + parts[1].size() + 1);
+    size_t payload_size = std::stoull(parts[1]);
+    std::string scheme = v1 ? "freqywm" : parts[2];
+    size_t id_offset = parts[0].size() + 1 + parts[1].size() + 1;
+    if (!v1) id_offset += parts[2].size() + 1;
+    std::string buyer_id = line.substr(id_offset);
 
-    std::string secrets_text;
-    for (size_t l = 0; l < secret_lines; ++l) {
-      if (!std::getline(in, line)) {
-        return Status::Corruption("truncated secrets for '" + buyer_id +
-                                  "'");
+    std::string payload;
+    if (v1) {
+      for (size_t l = 0; l < payload_size; ++l) {
+        if (!std::getline(in, line)) {
+          return Status::Corruption("truncated key for '" + buyer_id + "'");
+        }
+        payload += line;
+        payload += '\n';
       }
-      secrets_text += line;
-      secrets_text += '\n';
+    } else {
+      if (payload_size > text.size()) {
+        return Status::Corruption("payload size exceeds registry text");
+      }
+      payload.resize(payload_size);
+      if (payload_size > 0 &&
+          !in.read(&payload[0], static_cast<std::streamsize>(payload_size))) {
+        return Status::Corruption("truncated key for '" + buyer_id + "'");
+      }
+      if (in.get() != '\n') {
+        return Status::Corruption("missing payload separator for '" +
+                                  buyer_id + "'");
+      }
     }
-    FREQYWM_ASSIGN_OR_RETURN(WatermarkSecrets secrets,
-                             WatermarkSecrets::Deserialize(secrets_text));
-    FREQYWM_RETURN_NOT_OK(registry.Register(buyer_id, std::move(secrets)));
+    if (scheme == "freqywm") {
+      // FreqyWM payloads are structured secrets; validate them eagerly so
+      // corruption surfaces at load time, exactly as the v1 format did.
+      FREQYWM_RETURN_NOT_OK(WatermarkSecrets::Deserialize(payload).status());
+    }
+    FREQYWM_RETURN_NOT_OK(
+        registry.Register(buyer_id, SchemeKey{scheme, std::move(payload)}));
   }
   return registry;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "api/scheme.h"
 #include "common/result.h"
 #include "core/detect.h"
 #include "core/secrets.h"
@@ -11,23 +12,28 @@
 
 namespace freqywm {
 
-/// One escrowed fingerprint: a buyer identity and the secrets of the
-/// watermark embedded in that buyer's copy.
+/// One escrowed fingerprint: a buyer identity and the scheme-tagged key of
+/// the watermark embedded in that buyer's copy. Buyers of the same asset
+/// may be fingerprinted with different schemes — `Trace` dispatches each
+/// record through the `SchemeFactory` by its tag.
 struct FingerprintRecord {
   std::string buyer_id;
-  WatermarkSecrets secrets;
+  SchemeKey key;
 };
 
 /// Result of tracing a suspect dataset against the registry.
 struct TraceMatch {
   std::string buyer_id;
+  /// Scheme tag of the matching record (useful when buyers mix schemes).
+  std::string scheme;
   DetectResult detection;
 };
 
 /// The immutable escrow index from the paper's introduction: a seller (or
-/// marketplace) stores one watermark secret per buyer; when an
-/// unauthorized copy surfaces, `Trace` identifies the culprit by running
-/// every escrowed secret against it.
+/// marketplace) stores one watermark key per buyer; when an unauthorized
+/// copy surfaces, `Trace` identifies the culprit by running every escrowed
+/// key against it — entirely through the `WatermarkScheme` interface, with
+/// no scheme-specific branching.
 ///
 /// The paper suggests a blockchain for immutability; this class provides
 /// the data structure and a text serialization — pin the serialized bytes
@@ -36,23 +42,39 @@ class FingerprintRegistry {
  public:
   FingerprintRegistry() = default;
 
-  /// Escrows a buyer's fingerprint. Fails with `InvalidArgument` when the
-  /// buyer id is empty, contains newlines, or is already registered.
-  Status Register(const std::string& buyer_id, WatermarkSecrets secrets);
+  /// Escrows a buyer's scheme-tagged fingerprint key. Fails with
+  /// `InvalidArgument` when the buyer id is empty, contains newlines, or is
+  /// already registered, or when the key's scheme tag is empty or contains
+  /// whitespace.
+  Status Register(const std::string& buyer_id, SchemeKey key);
+
+  /// Legacy convenience for FreqyWM secrets (delegates to the tagged
+  /// overload with scheme "freqywm").
+  Status Register(const std::string& buyer_id,
+                  const WatermarkSecrets& secrets);
 
   size_t size() const { return records_.size(); }
   const std::vector<FingerprintRecord>& records() const { return records_; }
 
-  /// Runs detection with `options` for every escrowed secret against
-  /// `suspect` and returns the accepted matches, strongest first
-  /// (by verified fraction, ties by registration order).
+  /// Runs detection with `options` for every escrowed key against
+  /// `suspect` — each record through its scheme's `Detect` — and returns
+  /// the accepted matches, strongest first (by verified fraction, ties by
+  /// registration order). Records whose scheme is not registered in the
+  /// `SchemeFactory` are skipped.
   std::vector<TraceMatch> Trace(const Histogram& suspect,
                                 const DetectOptions& options) const;
 
-  /// Serializes the whole registry (buyer ids + secrets).
+  /// Like `Trace`, but detects each record under its scheme's
+  /// `RecommendedDetectOptions`, so mixed-scheme registries use sound
+  /// per-scheme accept thresholds instead of one global setting.
+  std::vector<TraceMatch> TraceWithRecommendedOptions(
+      const Histogram& suspect) const;
+
+  /// Serializes the whole registry (buyer ids + scheme-tagged keys).
   std::string Serialize() const;
 
-  /// Parses the output of `Serialize`.
+  /// Parses the output of `Serialize`. Accepts both the current v2 format
+  /// and the legacy v1 format (untagged FreqyWM secrets).
   static Result<FingerprintRegistry> Deserialize(const std::string& text);
 
  private:

@@ -1,0 +1,131 @@
+#include "api/attack.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "attacks/destroy.h"
+#include "attacks/rewatermark.h"
+#include "attacks/sampling.h"
+
+namespace freqywm {
+
+namespace {
+
+/// The destroy attacks document "histogram sorted descending" as a
+/// precondition; restore it when the caller hands over a mutated copy.
+Histogram Sorted(const Histogram& hist) {
+  return hist.IsSortedDescending() ? hist : hist.Resorted();
+}
+
+std::string PercentName(const char* base, double percent) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%g%%)", base, percent);
+  return std::string(buf);
+}
+
+class WithinBoundariesAttack final : public Attack {
+ public:
+  std::string name() const override { return "destroy-boundary(full)"; }
+  Histogram Apply(const Histogram& watermarked, Rng& rng) const override {
+    return DestroyAttackWithinBoundaries(Sorted(watermarked), rng);
+  }
+};
+
+class PercentOfBoundaryAttack final : public Attack {
+ public:
+  explicit PercentOfBoundaryAttack(double percent) : percent_(percent) {}
+  std::string name() const override {
+    return PercentName("destroy-boundary", percent_);
+  }
+  Histogram Apply(const Histogram& watermarked, Rng& rng) const override {
+    return DestroyAttackPercentOfBoundary(Sorted(watermarked), percent_, rng);
+  }
+
+ private:
+  double percent_;
+};
+
+class ReorderingAttack final : public Attack {
+ public:
+  explicit ReorderingAttack(double percent) : percent_(percent) {}
+  std::string name() const override {
+    return PercentName("destroy-reorder", percent_);
+  }
+  Histogram Apply(const Histogram& watermarked, Rng& rng) const override {
+    return DestroyAttackWithReordering(watermarked, percent_, rng);
+  }
+
+ private:
+  double percent_;
+};
+
+class SamplingHistogramAttack final : public Attack {
+ public:
+  explicit SamplingHistogramAttack(double fraction) : fraction_(fraction) {}
+  std::string name() const override {
+    return PercentName("sampling", fraction_ * 100.0);
+  }
+  Histogram Apply(const Histogram& watermarked, Rng& rng) const override {
+    double clamped = std::clamp(fraction_, 0.0, 1.0);
+    auto sample_size = static_cast<size_t>(
+        clamped * static_cast<double>(watermarked.total_count()));
+    return SamplingAttackHistogram(watermarked, sample_size, rng);
+  }
+
+ private:
+  double fraction_;
+};
+
+class RewatermarkAttackAdapter final : public Attack {
+ public:
+  explicit RewatermarkAttackAdapter(GenerateOptions options)
+      : options_(options) {}
+  std::string name() const override { return "re-watermark"; }
+  Histogram Apply(const Histogram& watermarked, Rng& rng) const override {
+    GenerateOptions options = options_;
+    options.seed = rng.NextU64() | 1;  // non-zero: stay deterministic
+    auto forged = ReWatermarkAttack(Sorted(watermarked), options);
+    if (!forged.ok()) return watermarked;  // inapplicable: ship unchanged
+    return std::move(forged).value().watermarked;
+  }
+
+ private:
+  GenerateOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Attack> MakeWithinBoundariesAttack() {
+  return std::make_unique<WithinBoundariesAttack>();
+}
+
+std::unique_ptr<Attack> MakePercentOfBoundaryAttack(double percent) {
+  return std::make_unique<PercentOfBoundaryAttack>(percent);
+}
+
+std::unique_ptr<Attack> MakeReorderingAttack(double percent) {
+  return std::make_unique<ReorderingAttack>(percent);
+}
+
+std::unique_ptr<Attack> MakeSamplingAttack(double fraction) {
+  return std::make_unique<SamplingHistogramAttack>(fraction);
+}
+
+std::unique_ptr<Attack> MakeRewatermarkAttack(GenerateOptions options) {
+  return std::make_unique<RewatermarkAttackAdapter>(options);
+}
+
+std::vector<std::unique_ptr<Attack>> StandardAttackSuite() {
+  std::vector<std::unique_ptr<Attack>> suite;
+  suite.push_back(MakeWithinBoundariesAttack());
+  suite.push_back(MakePercentOfBoundaryAttack(1.0));
+  suite.push_back(MakeReorderingAttack(1.0));
+  suite.push_back(MakeSamplingAttack(0.5));
+  GenerateOptions pirate;
+  pirate.modulus_bound = 131;
+  suite.push_back(MakeRewatermarkAttack(pirate));
+  return suite;
+}
+
+}  // namespace freqywm

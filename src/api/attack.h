@@ -1,0 +1,64 @@
+#ifndef FREQYWM_API_ATTACK_H_
+#define FREQYWM_API_ATTACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/options.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// Polymorphic pirate move (tentpole of the API redesign; DESIGN.md §6):
+/// takes a watermarked histogram, returns the attacked copy. Every §V
+/// attack of the paper is wrapped behind this interface so robustness
+/// sweeps iterate scheme x attack instead of hand-wiring signatures.
+///
+/// Attacks never mutate their input and draw all randomness from the
+/// caller's `Rng`, so sweeps stay reproducible rep by rep.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Human-readable id including parameters, e.g. "destroy-boundary(1%)".
+  virtual std::string name() const = 0;
+
+  /// Applies the attack. Implementations that require a rank-sorted input
+  /// re-sort internally; callers may pass mutated histograms directly.
+  virtual Histogram Apply(const Histogram& watermarked, Rng& rng) const = 0;
+};
+
+/// §V-C1 attack (1): random perturbation within each token's rank
+/// boundaries (order-preserving). Wraps `DestroyAttackWithinBoundaries`.
+std::unique_ptr<Attack> MakeWithinBoundariesAttack();
+
+/// §V-C1 attack (2): each token moves at most `percent`% of its boundary.
+/// Wraps `DestroyAttackPercentOfBoundary`.
+std::unique_ptr<Attack> MakePercentOfBoundaryAttack(double percent);
+
+/// §V-C2 attack: ±`percent`% of each value, re-ordering allowed. Wraps
+/// `DestroyAttackWithReordering`.
+std::unique_ptr<Attack> MakeReorderingAttack(double percent);
+
+/// §V-B attack: keep a uniformly random `fraction` of the rows (multivariate
+/// hypergeometric draw on counts). Wraps `SamplingAttackHistogram`.
+std::unique_ptr<Attack> MakeSamplingAttack(double fraction);
+
+/// §V-D attack: the pirate re-watermarks the stolen copy with its own
+/// FreqyWM secret to forge a genuine-looking proof. Wraps
+/// `ReWatermarkAttack`; `options.seed` is re-derived from the caller's
+/// `Rng` per application so reps differ. When no pair fits (inapplicable
+/// case) the attack degrades to a no-op copy — the pirate ships the data
+/// unchanged.
+std::unique_ptr<Attack> MakeRewatermarkAttack(GenerateOptions options);
+
+/// The paper's §V robustness suite with its headline parameters: the two
+/// order-preserving destroy attacks (full-boundary and 1%), the ±1%
+/// re-ordering attack, 50% sampling, and the re-watermark attack.
+std::vector<std::unique_ptr<Attack>> StandardAttackSuite();
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_API_ATTACK_H_

@@ -1,0 +1,80 @@
+#ifndef FREQYWM_API_FACTORY_H_
+#define FREQYWM_API_FACTORY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/scheme.h"
+#include "common/result.h"
+
+namespace freqywm {
+
+/// A generic string key/value option bag: the runtime currency CLIs and
+/// benches use to configure a scheme they select by name, without
+/// compiling against its concrete options struct.
+///
+/// Values are parsed lazily by the typed getters, which fail with
+/// `InvalidArgument` on malformed input; scheme builders additionally
+/// reject unknown keys so typos surface instead of silently applying
+/// defaults.
+class OptionBag {
+ public:
+  OptionBag() = default;
+
+  /// Parses "key=value,key=value" (the CLI `--opt` syntax). Whitespace
+  /// around keys and values is stripped; empty segments are skipped.
+  static Result<OptionBag> FromString(std::string_view text);
+
+  void Set(const std::string& key, const std::string& value);
+  bool Has(const std::string& key) const;
+  bool empty() const { return entries_.empty(); }
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// Typed getters: return `fallback` when the key is absent and
+  /// `InvalidArgument` when present but unparsable.
+  Result<std::string> GetString(const std::string& key,
+                                std::string fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<uint64_t> GetU64(const std::string& key, uint64_t fallback) const;
+
+  /// Fails with `InvalidArgument` naming the first key outside `allowed`.
+  Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// String-keyed scheme registry + factory (tentpole of the API redesign).
+///
+/// The three paper schemes are pre-registered: "freqywm", "wm-obt",
+/// "wm-rvs". Out-of-tree schemes join the same sweeps by calling
+/// `Register` once at startup; everything downstream (benches, CLI,
+/// `FingerprintRegistry::Trace`, the conformance test) discovers schemes
+/// through `RegisteredNames` and never names a concrete class.
+class SchemeFactory {
+ public:
+  using Builder = std::function<Result<std::unique_ptr<WatermarkScheme>>(
+      const OptionBag& options)>;
+
+  /// Registers a scheme builder. Fails with `InvalidArgument` when `name`
+  /// is empty, contains whitespace/newlines, or is already registered.
+  static Status Register(const std::string& name, Builder builder);
+
+  /// Instantiates a scheme by name. Fails with `NotFound` for unknown
+  /// names and propagates builder failures (e.g. malformed options).
+  static Result<std::unique_ptr<WatermarkScheme>> Create(
+      const std::string& name, const OptionBag& options = {});
+
+  /// All registered scheme names, sorted.
+  static std::vector<std::string> RegisteredNames();
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_API_FACTORY_H_

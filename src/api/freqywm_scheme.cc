@@ -1,0 +1,104 @@
+#include "api/freqywm_scheme.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/detect.h"
+#include "core/secrets.h"
+#include "core/watermark.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+
+namespace {
+
+SchemeKey MakeKey(const WatermarkSecrets& secrets) {
+  return SchemeKey{"freqywm", secrets.Serialize()};
+}
+
+EmbedReport MakeReport(const GenerateReport& report) {
+  EmbedReport out;
+  out.embedded_units = report.chosen_pairs;
+  out.eligible_units = report.eligible_pairs;
+  out.similarity_percent = report.similarity_percent;
+  out.total_churn = report.total_churn;
+  return out;
+}
+
+/// Parses the key payload; a foreign scheme tag or corrupt payload yields
+/// an error so detection degrades to "rejected" instead of crashing.
+Result<WatermarkSecrets> ParseKey(const SchemeKey& key) {
+  if (key.scheme != "freqywm") {
+    return Status::InvalidArgument("key belongs to scheme '" + key.scheme +
+                                   "'");
+  }
+  return WatermarkSecrets::Deserialize(key.payload);
+}
+
+}  // namespace
+
+FreqyWmScheme::FreqyWmScheme(GenerateOptions options,
+                             RefreshOptions refresh_options)
+    : options_(options), refresh_options_(refresh_options) {}
+
+std::string FreqyWmScheme::name() const { return "freqywm"; }
+
+Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original) const {
+  FREQYWM_ASSIGN_OR_RETURN(
+      HistogramGenerateResult generated,
+      WatermarkGenerator(options_).GenerateFromHistogram(original));
+  EmbedOutcome out;
+  out.key = MakeKey(generated.report.secrets);
+  out.report = MakeReport(generated.report);
+  out.watermarked = std::move(generated.watermarked);
+  return out;
+}
+
+Result<DatasetEmbedOutcome> FreqyWmScheme::EmbedDataset(
+    const Dataset& original) const {
+  FREQYWM_ASSIGN_OR_RETURN(DatasetGenerateResult generated,
+                           WatermarkGenerator(options_).Generate(original));
+  DatasetEmbedOutcome out;
+  out.key = MakeKey(generated.report.secrets);
+  out.report = MakeReport(generated.report);
+  out.watermarked = std::move(generated.watermarked);
+  return out;
+}
+
+DetectResult FreqyWmScheme::Detect(const Histogram& suspect,
+                                   const SchemeKey& key,
+                                   const DetectOptions& options) const {
+  auto secrets = ParseKey(key);
+  if (!secrets.ok()) return DetectResult{};
+  return DetectWatermark(suspect, secrets.value(), options);
+}
+
+DetectOptions FreqyWmScheme::RecommendedDetectOptions(
+    const SchemeKey& key) const {
+  DetectOptions options;
+  options.pair_threshold = 0;
+  auto secrets = ParseKey(key);
+  options.min_pairs =
+      secrets.ok() ? std::max<size_t>(1, secrets.value().pairs.size() / 2)
+                   : 1;
+  return options;
+}
+
+Result<EmbedOutcome> FreqyWmScheme::Refresh(const Histogram& drifted,
+                                            const SchemeKey& key) const {
+  FREQYWM_ASSIGN_OR_RETURN(WatermarkSecrets secrets, ParseKey(key));
+  FREQYWM_ASSIGN_OR_RETURN(
+      RefreshResult refreshed,
+      RefreshWatermark(drifted, secrets, refresh_options_));
+  EmbedOutcome out;
+  out.key = MakeKey(refreshed.secrets);
+  out.report.embedded_units = refreshed.secrets.pairs.size();
+  out.report.eligible_units = refreshed.report.pairs_checked;
+  out.report.total_churn = refreshed.report.total_churn;
+  out.report.similarity_percent =
+      HistogramSimilarityPercent(drifted, refreshed.refreshed);
+  out.watermarked = std::move(refreshed.refreshed);
+  return out;
+}
+
+}  // namespace freqywm

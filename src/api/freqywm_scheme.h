@@ -1,0 +1,46 @@
+#ifndef FREQYWM_API_FREQYWM_SCHEME_H_
+#define FREQYWM_API_FREQYWM_SCHEME_H_
+
+#include <string>
+
+#include "api/scheme.h"
+#include "core/incremental.h"
+#include "core/options.h"
+
+namespace freqywm {
+
+/// `WatermarkScheme` implementation of FreqyWM itself, wrapping
+/// `WatermarkGenerator` (embed), `DetectWatermark` (detect) and
+/// `RefreshWatermark` (incremental maintenance). The key payload is
+/// `WatermarkSecrets::Serialize()` — existing secret files remain valid.
+///
+/// Factory id: "freqywm".
+class FreqyWmScheme : public WatermarkScheme {
+ public:
+  explicit FreqyWmScheme(GenerateOptions options = {},
+                         RefreshOptions refresh_options = {});
+
+  std::string name() const override;
+  Result<EmbedOutcome> Embed(const Histogram& original) const override;
+  Result<DatasetEmbedOutcome> EmbedDataset(
+      const Dataset& original) const override;
+  DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
+                      const DetectOptions& options) const override;
+  DetectOptions RecommendedDetectOptions(const SchemeKey& key) const override;
+  bool SupportsRefresh() const override { return true; }
+  Result<EmbedOutcome> Refresh(const Histogram& drifted,
+                               const SchemeKey& key) const override;
+
+  const GenerateOptions& options() const { return options_; }
+
+ protected:
+  uint64_t dataset_transform_seed() const override { return options_.seed; }
+
+ private:
+  GenerateOptions options_;
+  RefreshOptions refresh_options_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_API_FREQYWM_SCHEME_H_

@@ -1,0 +1,88 @@
+#ifndef FREQYWM_API_KEY_UTIL_H_
+#define FREQYWM_API_KEY_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace freqywm {
+
+/// Helpers shared by the baseline schemes' key (de)serializers: their keys
+/// are flat "name value" line files behind a magic line.
+
+/// Renders watermark bits as a compact bit string ("11010").
+inline std::string BitsToString(const std::vector<int>& bits) {
+  std::string out;
+  out.reserve(bits.size());
+  for (int b : bits) out.push_back(b ? '1' : '0');
+  return out;
+}
+
+/// Parses a bit string; fails on empty input or non-binary characters.
+inline Result<std::vector<int>> ParseBitString(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("bit string must be non-empty");
+  }
+  std::vector<int> bits;
+  bits.reserve(text.size());
+  for (char c : text) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("bit string must contain only 0/1");
+    }
+    bits.push_back(c == '1' ? 1 : 0);
+  }
+  return bits;
+}
+
+/// Round-trip-exact double formatting for key files.
+inline std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+/// Parses "<magic>\n(<name> <value>\n)*" into a field map. The magic line
+/// must match exactly; duplicate fields are corruption.
+inline Result<std::map<std::string, std::string>> ParseKeyFields(
+    const std::string& payload, const std::string& magic) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != magic) {
+    return Status::Corruption("bad key magic (want '" + magic + "')");
+  }
+  std::map<std::string, std::string> fields;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    size_t space = stripped.find(' ');
+    if (space == std::string_view::npos || space == 0) {
+      return Status::Corruption("malformed key line '" + line + "'");
+    }
+    std::string name(stripped.substr(0, space));
+    if (!fields.emplace(name, std::string(stripped.substr(space + 1)))
+             .second) {
+      return Status::Corruption("duplicate key field '" + name + "'");
+    }
+  }
+  return fields;
+}
+
+/// Fetches a required field from a parsed key map.
+inline Result<std::string> RequireField(
+    const std::map<std::string, std::string>& fields,
+    const std::string& name) {
+  auto it = fields.find(name);
+  if (it == fields.end()) {
+    return Status::Corruption("key is missing field '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_API_KEY_UTIL_H_

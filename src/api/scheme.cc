@@ -1,0 +1,96 @@
+#include "api/scheme.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/watermark.h"
+
+namespace freqywm {
+
+namespace {
+constexpr char kMagic[] = "freqywm-scheme-key v1";
+}  // namespace
+
+std::string SchemeKey::Serialize() const {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "scheme " << scheme << '\n';
+  out << payload;
+  return out.str();
+}
+
+Result<SchemeKey> SchemeKey::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return Status::Corruption("bad scheme-key magic");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing scheme line");
+  }
+  std::vector<std::string> parts =
+      Split(std::string(StripWhitespace(line)), ' ');
+  if (parts.size() != 2 || parts[0] != "scheme" || parts[1].empty()) {
+    return Status::Corruption("malformed scheme line");
+  }
+  SchemeKey key;
+  key.scheme = parts[1];
+  // The payload is the rest of the text, verbatim.
+  size_t header_end = text.find('\n');
+  if (header_end != std::string::npos) {
+    header_end = text.find('\n', header_end + 1);
+  }
+  if (header_end != std::string::npos) {
+    key.payload = text.substr(header_end + 1);
+  }
+  return key;
+}
+
+Status SchemeKey::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  out << Serialize();
+  return out.good() ? Status::OK()
+                    : Status::Corruption("short write to '" + path + "'");
+}
+
+Result<SchemeKey> SchemeKey::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
+    const Dataset& original) const {
+  Histogram hist = Histogram::FromDataset(original);
+  FREQYWM_ASSIGN_OR_RETURN(EmbedOutcome outcome, Embed(hist));
+  Rng rng(dataset_transform_seed());
+  DatasetEmbedOutcome out;
+  out.watermarked = TransformDataset(original, outcome.watermarked, rng);
+  out.key = std::move(outcome.key);
+  out.report = outcome.report;
+  return out;
+}
+
+DetectResult WatermarkScheme::Detect(const Dataset& suspect,
+                                     const SchemeKey& key,
+                                     const DetectOptions& options) const {
+  return Detect(Histogram::FromDataset(suspect), key, options);
+}
+
+DetectOptions WatermarkScheme::RecommendedDetectOptions(
+    const SchemeKey& /*key*/) const {
+  return DetectOptions{};
+}
+
+Result<EmbedOutcome> WatermarkScheme::Refresh(const Histogram& /*drifted*/,
+                                              const SchemeKey& /*key*/) const {
+  return Status::NotSupported("scheme '" + name() +
+                              "' has no refresh (incremental) path");
+}
+
+}  // namespace freqywm

@@ -1,0 +1,138 @@
+#ifndef FREQYWM_API_SCHEME_H_
+#define FREQYWM_API_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/detect.h"
+#include "core/options.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+/// The portable proof-of-ownership artifact every scheme emits at embed
+/// time and consumes at detect time: a factory id plus the scheme-specific
+/// secret material, serialized (see DESIGN.md §6).
+///
+/// For FreqyWM the payload is `WatermarkSecrets::Serialize()` (`Lsc`); for
+/// WM-OBT it is the partition key, bit string and decode threshold; for
+/// WM-RVS the digit key and bit string. Treat the whole struct as secret —
+/// anyone holding it can verify (and, for some schemes, strip) the
+/// watermark.
+struct SchemeKey {
+  /// Factory id of the scheme that produced this key ("freqywm", ...).
+  std::string scheme;
+  /// Scheme-specific serialized secret material.
+  std::string payload;
+
+  /// Serializes tag + payload into one self-describing text blob.
+  std::string Serialize() const;
+
+  /// Parses the output of `Serialize`. Fails with `Corruption` on malformed
+  /// input.
+  static Result<SchemeKey> Deserialize(const std::string& text);
+
+  /// Saves to / loads from a file.
+  Status SaveToFile(const std::string& path) const;
+  static Result<SchemeKey> LoadFromFile(const std::string& path);
+
+  friend bool operator==(const SchemeKey& a, const SchemeKey& b) {
+    return a.scheme == b.scheme && a.payload == b.payload;
+  }
+};
+
+/// Scheme-agnostic embedding statistics. "Units" are whatever the scheme
+/// embeds: FreqyWM pairs, WM-OBT partitions, WM-RVS digits.
+struct EmbedReport {
+  /// Units actually carrying watermark information (|Lwm| for FreqyWM).
+  size_t embedded_units = 0;
+  /// Units that were candidates (|Le| for FreqyWM; 0 when the scheme has no
+  /// eligibility phase).
+  size_t eligible_units = 0;
+  /// Similarity (percent) between original and watermarked histograms.
+  double similarity_percent = 100.0;
+  /// Token instances added plus removed.
+  uint64_t total_churn = 0;
+};
+
+/// What `WatermarkScheme::Embed` produces: the artifact, the key to detect
+/// it later, and the statistics the paper's tables report.
+struct EmbedOutcome {
+  Histogram watermarked;
+  SchemeKey key;
+  EmbedReport report;
+};
+
+/// Dataset-level sibling of `EmbedOutcome` (row-level artifact).
+struct DatasetEmbedOutcome {
+  Dataset watermarked;
+  SchemeKey key;
+  EmbedReport report;
+};
+
+/// The unified lifecycle interface every watermarking scheme implements
+/// (tentpole of the API redesign; DESIGN.md §6). The paper's evaluation is
+/// a schemes x attacks x datasets matrix — this interface makes each sweep
+/// a loop over `SchemeFactory` names instead of per-scheme plumbing.
+///
+/// Contract:
+///  * `Embed` is deterministic for a fixed scheme configuration (schemes
+///    draw randomness from their configured seed, never from global state).
+///  * `Detect` must accept the scheme's own fresh embedding and reject a
+///    clean histogram presented with a foreign key (enforced for every
+///    registered scheme by `tests/api/scheme_conformance_test.cc`).
+///  * `Detect` never fails: a malformed or foreign-scheme key yields a
+///    default (rejected) `DetectResult`.
+class WatermarkScheme {
+ public:
+  virtual ~WatermarkScheme() = default;
+
+  /// Factory id; equals the name the scheme is registered under.
+  virtual std::string name() const = 0;
+
+  /// Watermarks a frequency histogram.
+  virtual Result<EmbedOutcome> Embed(const Histogram& original) const = 0;
+
+  /// Watermarks a dataset end-to-end. The default implementation embeds at
+  /// histogram level and applies the generic data transformation (insert or
+  /// remove token instances at random positions until the histogram
+  /// matches); schemes with a native row-level path override it.
+  virtual Result<DatasetEmbedOutcome> EmbedDataset(
+      const Dataset& original) const;
+
+  /// Runs detection of `key` on a suspect histogram. `options` semantics
+  /// per scheme: `min_pairs` is always the minimum number of verified
+  /// units; `pair_threshold` is the per-unit tolerance (FreqyWM residue
+  /// bound; WM-OBT number of partitions allowed to decode wrongly; unused
+  /// by WM-RVS).
+  virtual DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
+                              const DetectOptions& options) const = 0;
+
+  /// Convenience overload building the histogram from a raw dataset.
+  DetectResult Detect(const Dataset& suspect, const SchemeKey& key,
+                      const DetectOptions& options) const;
+
+  /// Detection settings that make `Detect` a sound accept/reject oracle for
+  /// this scheme's `key` on un-attacked data (used by the conformance test,
+  /// the CLI default, and `FingerprintRegistry::Trace` callers).
+  virtual DetectOptions RecommendedDetectOptions(const SchemeKey& key) const;
+
+  /// True when `Refresh` is implemented.
+  virtual bool SupportsRefresh() const { return false; }
+
+  /// Re-aligns a drifted watermark (incremental maintenance, paper §VI).
+  /// Default: `NotSupported`.
+  virtual Result<EmbedOutcome> Refresh(const Histogram& drifted,
+                                       const SchemeKey& key) const;
+
+ protected:
+  /// Seed for the default `EmbedDataset` row-placement randomness; schemes
+  /// return their configured secret seed so runs stay reproducible.
+  virtual uint64_t dataset_transform_seed() const { return 0x7ab5eedULL; }
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_API_SCHEME_H_

@@ -1,0 +1,136 @@
+#include "api/wm_obt_scheme.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "api/key_util.h"
+#include "common/random.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+
+namespace {
+constexpr char kKeyMagic[] = "wm-obt-key v1";
+}  // namespace
+
+WmObtScheme::WmObtScheme(WmObtOptions options) : options_(options) {}
+
+std::string WmObtScheme::name() const { return "wm-obt"; }
+
+std::string WmObtScheme::SerializeKeyPayload(const WmObtOptions& options) {
+  std::ostringstream out;
+  out << kKeyMagic << '\n';
+  out << "key_seed " << options.key_seed << '\n';
+  out << "num_partitions " << options.num_partitions << '\n';
+  out << "condition " << FormatDouble(options.condition) << '\n';
+  out << "decode_threshold " << FormatDouble(options.decode_threshold)
+      << '\n';
+  out << "bits " << BitsToString(options.watermark_bits) << '\n';
+  return out.str();
+}
+
+Result<WmObtOptions> WmObtScheme::ParseKeyPayload(
+    const std::string& payload) {
+  FREQYWM_ASSIGN_OR_RETURN(auto fields, ParseKeyFields(payload, kKeyMagic));
+  WmObtOptions options;  // GA parameters keep defaults: detect never embeds
+  FREQYWM_ASSIGN_OR_RETURN(std::string seed, RequireField(fields, "key_seed"));
+  if (!IsInteger(seed) || seed[0] == '-') {
+    return Status::Corruption("bad key_seed");
+  }
+  options.key_seed = std::strtoull(seed.c_str(), nullptr, 10);
+  FREQYWM_ASSIGN_OR_RETURN(std::string parts,
+                           RequireField(fields, "num_partitions"));
+  if (!IsInteger(parts) || parts[0] == '-') {
+    return Status::Corruption("bad num_partitions");
+  }
+  options.num_partitions = std::strtoull(parts.c_str(), nullptr, 10);
+  // Upper bound keeps a corrupt key from driving a giant allocation in
+  // WmObtPartitionStatistics (Detect must reject, never crash).
+  if (options.num_partitions == 0 || options.num_partitions > (1u << 20)) {
+    return Status::Corruption("num_partitions out of range");
+  }
+  FREQYWM_ASSIGN_OR_RETURN(std::string condition,
+                           RequireField(fields, "condition"));
+  options.condition = std::strtod(condition.c_str(), nullptr);
+  FREQYWM_ASSIGN_OR_RETURN(std::string threshold,
+                           RequireField(fields, "decode_threshold"));
+  options.decode_threshold = std::strtod(threshold.c_str(), nullptr);
+  FREQYWM_ASSIGN_OR_RETURN(std::string bits, RequireField(fields, "bits"));
+  FREQYWM_ASSIGN_OR_RETURN(options.watermark_bits, ParseBitString(bits));
+  return options;
+}
+
+Result<EmbedOutcome> WmObtScheme::Embed(const Histogram& original) const {
+  if (original.empty()) {
+    return Status::InvalidArgument("cannot watermark an empty histogram");
+  }
+  Rng rng(options_.key_seed);
+  Histogram watermarked = EmbedWmObt(original, options_, rng);
+
+  // Calibrate the decode threshold from this embedding: the hiding
+  // statistic is nearly scale-invariant, so the achievable bit-0/bit-1
+  // separation depends on the dataset. The midpoint between the highest
+  // bit-0 and the lowest bit-1 partition statistic decodes this embedding
+  // exactly; it ships inside the key (the paper's 0.0966 was likewise an
+  // empirical constant of their embedding run).
+  WmObtOptions keyed = options_;
+  std::vector<double> stats = WmObtPartitionStatistics(watermarked, keyed);
+  {
+    double lo_max = -1.0, hi_min = 2.0;
+    for (size_t p = 0; p < stats.size(); ++p) {
+      if (stats[p] < 0) continue;
+      int bit = keyed.watermark_bits[p % keyed.watermark_bits.size()];
+      if (bit == 1) {
+        hi_min = std::min(hi_min, stats[p]);
+      } else {
+        lo_max = std::max(lo_max, stats[p]);
+      }
+    }
+    if (lo_max >= 0.0 && hi_min <= 1.0) {
+      keyed.decode_threshold = (lo_max + hi_min) / 2.0;
+    }
+  }
+
+  EmbedOutcome out;
+  out.key = SchemeKey{"wm-obt", SerializeKeyPayload(keyed)};
+  out.report.eligible_units = options_.num_partitions;
+  // Embedding never adds or removes tokens, so the watermarked stats also
+  // tell which partitions were non-empty in the original.
+  for (double stat : stats) {
+    if (stat >= 0) ++out.report.embedded_units;  // non-empty partition
+  }
+  out.report.similarity_percent =
+      HistogramSimilarityPercent(original, watermarked);
+  for (const auto& e : original.entries()) {
+    auto count = watermarked.CountOf(e.token);
+    if (!count) continue;
+    out.report.total_churn += *count > e.count ? *count - e.count
+                                               : e.count - *count;
+  }
+  out.watermarked = std::move(watermarked);
+  return out;
+}
+
+DetectResult WmObtScheme::Detect(const Histogram& suspect,
+                                 const SchemeKey& key,
+                                 const DetectOptions& options) const {
+  if (key.scheme != "wm-obt") return DetectResult{};
+  auto parsed = ParseKeyPayload(key.payload);
+  if (!parsed.ok()) return DetectResult{};
+  return DetectWmObt(suspect, parsed.value(), options);
+}
+
+DetectOptions WmObtScheme::RecommendedDetectOptions(
+    const SchemeKey& /*key*/) const {
+  DetectOptions options;
+  // The bit-string evidence is all-or-nothing: demand at least two decoded
+  // partitions and allow a single wrongly-decoded one (embedding can leave
+  // a sparse partition on the wrong side of the threshold).
+  options.min_pairs = 2;
+  options.pair_threshold = 1;
+  return options;
+}
+
+}  // namespace freqywm

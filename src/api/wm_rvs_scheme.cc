@@ -1,0 +1,93 @@
+#include "api/wm_rvs_scheme.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "api/key_util.h"
+#include "stats/similarity.h"
+
+namespace freqywm {
+
+namespace {
+constexpr char kKeyMagic[] = "wm-rvs-key v1";
+}  // namespace
+
+WmRvsScheme::WmRvsScheme(WmRvsOptions options) : options_(options) {}
+
+std::string WmRvsScheme::name() const { return "wm-rvs"; }
+
+std::string WmRvsScheme::SerializeKeyPayload(const WmRvsOptions& options) {
+  std::ostringstream out;
+  out << kKeyMagic << '\n';
+  out << "key_seed " << options.key_seed << '\n';
+  out << "max_digit_position " << options.max_digit_position << '\n';
+  out << "bits " << BitsToString(options.watermark_bits) << '\n';
+  return out.str();
+}
+
+Result<WmRvsOptions> WmRvsScheme::ParseKeyPayload(
+    const std::string& payload) {
+  FREQYWM_ASSIGN_OR_RETURN(auto fields, ParseKeyFields(payload, kKeyMagic));
+  WmRvsOptions options;
+  FREQYWM_ASSIGN_OR_RETURN(std::string seed, RequireField(fields, "key_seed"));
+  if (!IsInteger(seed) || seed[0] == '-') {
+    return Status::Corruption("bad key_seed");
+  }
+  options.key_seed = std::strtoull(seed.c_str(), nullptr, 10);
+  FREQYWM_ASSIGN_OR_RETURN(std::string pos,
+                           RequireField(fields, "max_digit_position"));
+  if (!IsInteger(pos) || pos[0] == '-') {
+    return Status::Corruption("bad max_digit_position");
+  }
+  options.max_digit_position = static_cast<int>(std::atoll(pos.c_str()));
+  if (options.max_digit_position < 0 || options.max_digit_position > 18) {
+    return Status::Corruption("max_digit_position out of range");
+  }
+  FREQYWM_ASSIGN_OR_RETURN(std::string bits, RequireField(fields, "bits"));
+  FREQYWM_ASSIGN_OR_RETURN(options.watermark_bits, ParseBitString(bits));
+  return options;
+}
+
+Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original) const {
+  if (original.empty()) {
+    return Status::InvalidArgument("cannot watermark an empty histogram");
+  }
+  WmRvsSideTable side_table;
+  Histogram watermarked = EmbedWmRvs(original, options_, &side_table);
+
+  EmbedOutcome out;
+  out.key = SchemeKey{"wm-rvs", SerializeKeyPayload(options_)};
+  out.report.embedded_units = side_table.entries.size();
+  out.report.eligible_units = original.num_tokens();
+  out.report.similarity_percent =
+      HistogramSimilarityPercent(original, watermarked);
+  for (const auto& e : original.entries()) {
+    auto count = watermarked.CountOf(e.token);
+    if (!count) continue;
+    out.report.total_churn += *count > e.count ? *count - e.count
+                                               : e.count - *count;
+  }
+  out.watermarked = std::move(watermarked);
+  return out;
+}
+
+DetectResult WmRvsScheme::Detect(const Histogram& suspect,
+                                 const SchemeKey& key,
+                                 const DetectOptions& options) const {
+  if (key.scheme != "wm-rvs") return DetectResult{};
+  auto parsed = ParseKeyPayload(key.payload);
+  if (!parsed.ok()) return DetectResult{};
+  return DetectWmRvs(suspect, parsed.value(), options);
+}
+
+DetectOptions WmRvsScheme::RecommendedDetectOptions(
+    const SchemeKey& /*key*/) const {
+  DetectOptions options;
+  // The majority rule in DetectWmRvs carries the discrimination (chance
+  // floor ~10%); min_pairs only guards against trivially small evidence.
+  options.min_pairs = 4;
+  return options;
+}
+
+}  // namespace freqywm

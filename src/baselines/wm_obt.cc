@@ -189,4 +189,44 @@ Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
   return out;
 }
 
+std::vector<double> WmObtPartitionStatistics(const Histogram& suspect,
+                                             const WmObtOptions& options) {
+  std::vector<std::vector<int64_t>> values(options.num_partitions);
+  for (const auto& e : suspect.entries()) {
+    values[PartitionOf(e.token, options.key_seed, options.num_partitions)]
+        .push_back(static_cast<int64_t>(e.count));
+  }
+  std::vector<double> stats(options.num_partitions, -1.0);
+  for (size_t p = 0; p < options.num_partitions; ++p) {
+    if (values[p].empty()) continue;
+    stats[p] = HidingStatistic(values[p], options.condition);
+  }
+  return stats;
+}
+
+DetectResult DetectWmObt(const Histogram& suspect, const WmObtOptions& options,
+                         const DetectOptions& detect) {
+  DetectResult result;
+  if (options.num_partitions == 0 || options.watermark_bits.empty()) {
+    return result;
+  }
+  std::vector<double> stats = WmObtPartitionStatistics(suspect, options);
+  for (size_t p = 0; p < stats.size(); ++p) {
+    if (stats[p] < 0) continue;  // empty partition
+    ++result.pairs_found;
+    int decoded = stats[p] >= options.decode_threshold ? 1 : 0;
+    int expected = options.watermark_bits[p % options.watermark_bits.size()];
+    if (decoded == expected) ++result.pairs_verified;
+  }
+  if (result.pairs_found > 0) {
+    result.verified_fraction = static_cast<double>(result.pairs_verified) /
+                               static_cast<double>(result.pairs_found);
+  }
+  size_t mismatched = result.pairs_found - result.pairs_verified;
+  result.accepted = result.pairs_found > 0 &&
+                    result.pairs_verified >= detect.min_pairs &&
+                    mismatched <= detect.pair_threshold;
+  return result;
+}
+
 }  // namespace freqywm

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/detect.h"
 #include "data/histogram.h"
 
 namespace freqywm {
@@ -38,6 +39,9 @@ struct WmObtOptions {
   double mutation_rate = 0.08;
   /// Key for the secret partitioning.
   uint64_t key_seed = 0x0b75;
+  /// Decoding threshold on the hiding statistic: a partition reads as bit 1
+  /// when its statistic is >= this value (the paper's 0.0966).
+  double decode_threshold = 0.0966;
 };
 
 /// Per-partition decode statistics (used to evaluate the decoding threshold
@@ -54,6 +58,27 @@ struct WmObtStats {
 /// (counts modified in place per partition, never below 1).
 Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
                      Rng& rng, WmObtStats* stats = nullptr);
+
+/// Recomputes the per-partition hiding statistics of `suspect` under the
+/// secret partitioning of `options` — the decode side of the scheme. Empty
+/// partitions yield a statistic of -1 (sentinel; real statistics are in
+/// [0, 1]).
+std::vector<double> WmObtPartitionStatistics(const Histogram& suspect,
+                                             const WmObtOptions& options);
+
+/// WM-OBT watermark detection: re-partitions `suspect` with the key,
+/// decodes one bit per non-empty partition via `options.decode_threshold`,
+/// and compares against `options.watermark_bits`.
+///
+/// `DetectResult` mapping: a "pair" is a partition. `pairs_found` counts
+/// non-empty partitions, `pairs_verified` those whose decoded bit matches
+/// the expected bit. Because the scheme carries no per-unit secret residue,
+/// the only ownership evidence is agreement of the decoded bit string:
+/// detection accepts when at least `detect.min_pairs` partitions verify and
+/// at most `detect.pair_threshold` decode wrongly. (`rescale_factor` is
+/// ignored — the hiding statistic is scale-invariant.)
+DetectResult DetectWmObt(const Histogram& suspect, const WmObtOptions& options,
+                         const DetectOptions& detect);
 
 }  // namespace freqywm
 

@@ -83,4 +83,40 @@ Histogram ReverseWmRvs(const Histogram& watermarked,
   return out;
 }
 
+DetectResult DetectWmRvs(const Histogram& suspect, const WmRvsOptions& options,
+                         const DetectOptions& detect) {
+  DetectResult result;
+  if (options.watermark_bits.empty() || options.max_digit_position < 0) {
+    return result;
+  }
+  for (const auto& e : suspect.entries()) {
+    uint64_t h = KeyedHash(e.token, options.key_seed, "wm-rvs:");
+    int pos = static_cast<int>(
+        h % static_cast<uint64_t>(options.max_digit_position + 1));
+    int bit_index =
+        static_cast<int>((h >> 8) % options.watermark_bits.size());
+    int bit = options.watermark_bits[static_cast<size_t>(bit_index)];
+
+    int64_t value = static_cast<int64_t>(e.count);
+    int64_t scale = Pow10(pos);
+    if (value < scale) continue;  // digit position does not exist
+    ++result.pairs_found;
+
+    // The substitution digit the embedder would have written.
+    int candidate = static_cast<int>((h >> 16) % 10);
+    if ((candidate % 2) != bit) candidate = (candidate + 1) % 10;
+    if (static_cast<int>((value / scale) % 10) == candidate) {
+      ++result.pairs_verified;
+    }
+  }
+  if (result.pairs_found > 0) {
+    result.verified_fraction = static_cast<double>(result.pairs_verified) /
+                               static_cast<double>(result.pairs_found);
+  }
+  result.accepted = result.pairs_found > 0 &&
+                    result.pairs_verified >= detect.min_pairs &&
+                    2 * result.pairs_verified > result.pairs_found;
+  return result;
+}
+
 }  // namespace freqywm

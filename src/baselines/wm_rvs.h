@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/detect.h"
 #include "data/histogram.h"
 
 namespace freqywm {
@@ -44,6 +45,20 @@ Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
 /// side-table (the "reversible" property of the scheme).
 Histogram ReverseWmRvs(const Histogram& watermarked,
                        const WmRvsSideTable& side_table);
+
+/// WM-RVS watermark detection: for every suspect token the keyed hash
+/// re-derives the digit position and the substitution digit the embedder
+/// would have written; the token verifies when the suspect count carries
+/// exactly that digit.
+///
+/// `DetectResult` mapping: a "pair" is a token whose keyed digit position
+/// exists in its count. On clean or foreign-keyed data a token verifies by
+/// chance with probability ~1/10, so detection accepts only when verified
+/// tokens reach `detect.min_pairs` AND a strict majority of the found
+/// tokens verify. (`pair_threshold` and `rescale_factor` are unused: the
+/// digit channel has no residue distance and no meaningful rescaling.)
+DetectResult DetectWmRvs(const Histogram& suspect, const WmRvsOptions& options,
+                         const DetectOptions& detect);
 
 }  // namespace freqywm
 

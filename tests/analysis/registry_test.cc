@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/factory.h"
 #include "attacks/destroy.h"
 #include "core/watermark.h"
 #include "datagen/power_law.h"
@@ -17,12 +18,30 @@ WatermarkSecrets MakeSecrets(uint64_t seed) {
   return s;
 }
 
+SchemeKey MakeSchemeKey(const std::string& scheme, uint64_t seed) {
+  OptionBag bag;
+  bag.Set("seed", std::to_string(seed));
+  auto created = SchemeFactory::Create(scheme, bag);
+  EXPECT_TRUE(created.ok()) << created.status();
+
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 80;
+  spec.sample_size = 40000;
+  spec.alpha = 0.6;
+  auto outcome =
+      created.value()->Embed(GeneratePowerLawHistogram(spec, rng));
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  return outcome.value().key;
+}
+
 TEST(RegistryTest, RegisterAndEnumerate) {
   FingerprintRegistry registry;
   ASSERT_TRUE(registry.Register("buyer-a", MakeSecrets(1)).ok());
   ASSERT_TRUE(registry.Register("buyer-b", MakeSecrets(2)).ok());
   EXPECT_EQ(registry.size(), 2u);
   EXPECT_EQ(registry.records()[0].buyer_id, "buyer-a");
+  EXPECT_EQ(registry.records()[0].key.scheme, "freqywm");
 }
 
 TEST(RegistryTest, RejectsDuplicatesAndBadIds) {
@@ -36,28 +55,93 @@ TEST(RegistryTest, RejectsDuplicatesAndBadIds) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(RegistryTest, RejectsBadSchemeTags) {
+  FingerprintRegistry registry;
+  EXPECT_EQ(registry.Register("buyer-a", SchemeKey{"", "payload"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      registry.Register("buyer-a", SchemeKey{"has space", "payload"}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      registry.Register("buyer-a", SchemeKey{"has\nnewline", "p"}).code(),
+      StatusCode::kInvalidArgument);
+}
+
 TEST(RegistryTest, SerializeDeserializeRoundTrip) {
   FingerprintRegistry registry;
   ASSERT_TRUE(registry.Register("acme analytics", MakeSecrets(1)).ok());
   ASSERT_TRUE(registry.Register("hedge-fund-42", MakeSecrets(2)).ok());
   auto parsed = FingerprintRegistry::Deserialize(registry.Serialize());
-  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_EQ(parsed.value().size(), 2u);
   EXPECT_EQ(parsed.value().records()[0].buyer_id, "acme analytics");
-  EXPECT_EQ(parsed.value().records()[0].secrets,
-            registry.records()[0].secrets);
+  EXPECT_EQ(parsed.value().records()[0].key, registry.records()[0].key);
+}
+
+TEST(RegistryTest, SchemeTaggedRoundTripAcrossAllSchemes) {
+  // One buyer per registered scheme — a mixed-scheme escrow must survive
+  // serialization with every tag and payload intact.
+  FingerprintRegistry registry;
+  std::vector<std::string> schemes = SchemeFactory::RegisteredNames();
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    ASSERT_TRUE(registry
+                    .Register("buyer-" + schemes[i],
+                              MakeSchemeKey(schemes[i], 100 + i))
+                    .ok());
+  }
+  auto parsed = FingerprintRegistry::Deserialize(registry.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().size(), schemes.size());
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    EXPECT_EQ(parsed.value().records()[i].buyer_id,
+              registry.records()[i].buyer_id);
+    EXPECT_EQ(parsed.value().records()[i].key, registry.records()[i].key);
+  }
+}
+
+TEST(RegistryTest, DeserializeAcceptsLegacyV1) {
+  // A v1 registry (untagged FreqyWM secrets) still loads; records come
+  // back tagged "freqywm".
+  WatermarkSecrets secrets = MakeSecrets(5);
+  std::string payload = secrets.Serialize();
+  size_t lines = static_cast<size_t>(
+      std::count(payload.begin(), payload.end(), '\n'));
+  std::string text = "freqywm-registry v1\nrecords 1\nbuyer " +
+                     std::to_string(lines) + " legacy buyer\n" + payload;
+  auto parsed = FingerprintRegistry::Deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().records()[0].buyer_id, "legacy buyer");
+  EXPECT_EQ(parsed.value().records()[0].key.scheme, "freqywm");
+  EXPECT_EQ(parsed.value().records()[0].key.payload, payload);
 }
 
 TEST(RegistryTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(FingerprintRegistry::Deserialize("nope").ok());
   EXPECT_FALSE(
-      FingerprintRegistry::Deserialize("freqywm-registry v1\nrecords x\n")
+      FingerprintRegistry::Deserialize("freqywm-registry v2\nrecords x\n")
           .ok());
   FingerprintRegistry registry;
   ASSERT_TRUE(registry.Register("a", MakeSecrets(1)).ok());
   std::string text = registry.Serialize();
   text.resize(text.size() / 2);  // truncate mid-secrets
   EXPECT_FALSE(FingerprintRegistry::Deserialize(text).ok());
+}
+
+TEST(RegistryTest, DeserializeRejectsDuplicateBuyers) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("dup", MakeSecrets(1)).ok());
+  std::string one = registry.Serialize();
+  // Splice the same record in twice and fix up the count.
+  std::string twice = one;
+  size_t header_end = twice.find('\n', twice.find('\n') + 1) + 1;
+  twice += one.substr(header_end);
+  size_t records_pos = twice.find("records 1");
+  ASSERT_NE(records_pos, std::string::npos);
+  twice.replace(records_pos, 9, "records 2");
+  auto parsed = FingerprintRegistry::Deserialize(twice);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RegistryTest, TraceIdentifiesLeakingBuyer) {
@@ -97,11 +181,17 @@ TEST(RegistryTest, TraceIdentifiesLeakingBuyer) {
   DetectOptions d;
   d.pair_threshold = 5;
   d.symmetric_residue = true;
-  d.min_pairs = std::max<size_t>(
-      1, registry.records()[1].secrets.pairs.size() / 2);
+  d.min_pairs = 1;
+  {
+    auto secrets =
+        WatermarkSecrets::Deserialize(registry.records()[1].key.payload);
+    ASSERT_TRUE(secrets.ok());
+    d.min_pairs = std::max<size_t>(1, secrets.value().pairs.size() / 2);
+  }
   auto matches = registry.Trace(pirated, d);
   ASSERT_FALSE(matches.empty());
   EXPECT_EQ(matches[0].buyer_id, "buyer-1");
+  EXPECT_EQ(matches[0].scheme, "freqywm");
 }
 
 TEST(RegistryTest, TraceOnUnrelatedDataFindsNothing) {
@@ -132,6 +222,69 @@ TEST(RegistryTest, TraceOnUnrelatedDataFindsNothing) {
   d.pair_threshold = 0;
   d.min_pairs = std::max<size_t>(1, pairs / 2);
   EXPECT_TRUE(registry.Trace(unrelated, d).empty());
+}
+
+TEST(RegistryTest, MixedSchemeTraceFindsOnlyTheEmbeddedScheme) {
+  // Escrow one key per scheme, all embedded into copies of the same
+  // master; leak the wm-rvs copy; only the wm-rvs buyer may match. Runs
+  // entirely through Trace — no scheme-specific branching here.
+  Rng rng(21);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 150000;
+  spec.alpha = 0.6;
+  Histogram master = GeneratePowerLawHistogram(spec, rng);
+
+  FingerprintRegistry registry;
+  Histogram leaked;
+  for (const std::string& scheme_name : SchemeFactory::RegisteredNames()) {
+    OptionBag bag;
+    bag.Set("seed", "777");
+    auto scheme = SchemeFactory::Create(scheme_name, bag);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    auto outcome = scheme.value()->Embed(master);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_TRUE(registry
+                    .Register("buyer-" + scheme_name,
+                              std::move(outcome.value().key))
+                    .ok());
+    if (scheme_name == "wm-rvs") {
+      leaked = std::move(outcome.value().watermarked);
+    }
+  }
+  ASSERT_FALSE(leaked.empty());
+
+  auto matches = registry.TraceWithRecommendedOptions(leaked);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].buyer_id, "buyer-wm-rvs");
+  EXPECT_EQ(matches[0].scheme, "wm-rvs");
+}
+
+TEST(RegistryTest, RoundTripIsByteExactForForeignPayloads) {
+  // Out-of-tree schemes may use payloads without a trailing newline (or
+  // any line structure at all); serialization must not alter them.
+  FingerprintRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("martian", SchemeKey{"martian-wm", "opaque"}).ok());
+  ASSERT_TRUE(
+      registry.Register("venusian", SchemeKey{"venus-wm", "a\n\nb"}).ok());
+  auto parsed = FingerprintRegistry::Deserialize(registry.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().records()[0].key.payload, "opaque");
+  EXPECT_EQ(parsed.value().records()[1].key.payload, "a\n\nb");
+}
+
+TEST(RegistryTest, TraceSkipsUnregisteredSchemes) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("martian", SchemeKey{"martian-wm", "opaque"}).ok());
+  Rng rng(3);
+  PowerLawSpec spec;
+  spec.num_tokens = 50;
+  spec.sample_size = 20000;
+  Histogram hist = GeneratePowerLawHistogram(spec, rng);
+  EXPECT_TRUE(registry.Trace(hist, DetectOptions{}).empty());
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+#include "api/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "api/factory.h"
+#include "common/random.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeWatermarked(uint64_t seed) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 100000;
+  spec.alpha = 0.6;
+  Histogram original = GeneratePowerLawHistogram(spec, rng);
+  auto scheme = SchemeFactory::Create("freqywm");
+  EXPECT_TRUE(scheme.ok());
+  auto outcome = scheme.value()->Embed(original);
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  return outcome.value().watermarked;
+}
+
+TEST(AttackAdapterTest, SuiteCoversTheFivePaperAttacks) {
+  auto suite = StandardAttackSuite();
+  ASSERT_EQ(suite.size(), 5u);
+  for (const auto& attack : suite) {
+    EXPECT_FALSE(attack->name().empty());
+  }
+}
+
+TEST(AttackAdapterTest, ApplyIsDeterministicAndNonMutating) {
+  Histogram wm = MakeWatermarked(3);
+  for (const auto& attack : StandardAttackSuite()) {
+    Histogram before = wm;
+    Rng rng_a(99), rng_b(99);
+    Histogram a = attack->Apply(wm, rng_a);
+    Histogram b = attack->Apply(wm, rng_b);
+    EXPECT_EQ(a.entries(), b.entries()) << attack->name();
+    EXPECT_EQ(wm.entries(), before.entries())
+        << attack->name() << " mutated its input";
+  }
+}
+
+TEST(AttackAdapterTest, EveryAttackActuallyPerturbs) {
+  Histogram wm = MakeWatermarked(4);
+  for (const auto& attack : StandardAttackSuite()) {
+    Rng rng(7);
+    Histogram attacked = attack->Apply(wm, rng);
+    EXPECT_NE(attacked.entries(), wm.entries()) << attack->name();
+  }
+}
+
+TEST(AttackAdapterTest, SamplingAttackHalvesTheSample) {
+  Histogram wm = MakeWatermarked(5);
+  Rng rng(11);
+  Histogram half = MakeSamplingAttack(0.5)->Apply(wm, rng);
+  EXPECT_EQ(half.total_count(), wm.total_count() / 2);
+}
+
+TEST(AttackAdapterTest, BoundaryAttacksAcceptUnsortedInput) {
+  Histogram wm = MakeWatermarked(6);
+  // Scramble rank order the way a prior attack would.
+  Rng scramble(13);
+  Histogram unsorted = MakeReorderingAttack(30.0)->Apply(wm, scramble);
+  ASSERT_FALSE(unsorted.IsSortedDescending());
+  Rng rng(17);
+  Histogram attacked = MakeWithinBoundariesAttack()->Apply(unsorted, rng);
+  EXPECT_EQ(attacked.num_tokens(), unsorted.num_tokens());
+}
+
+TEST(AttackAdapterTest, DegradedWatermarkStillTracedAcrossSuite) {
+  // End-to-end scheme x attack loop through the interfaces only: a strong
+  // FreqyWM embedding should survive the mild attacks at a tolerant
+  // threshold, and detection must never crash on any attacked copy.
+  Rng rng(19);
+  PowerLawSpec spec;
+  spec.num_tokens = 300;
+  spec.sample_size = 300000;
+  spec.alpha = 0.6;
+  Histogram original = GeneratePowerLawHistogram(spec, rng);
+  OptionBag bag;
+  bag.Set("z", "67");
+  bag.Set("min_modulus", "16");
+  bag.Set("min_pair_cost", "12");
+  bag.Set("seed", "23");
+  auto scheme = SchemeFactory::Create("freqywm", bag);
+  ASSERT_TRUE(scheme.ok());
+  auto outcome = scheme.value()->Embed(original);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  DetectOptions tolerant;
+  tolerant.pair_threshold = 5;
+  tolerant.symmetric_residue = true;
+  tolerant.min_pairs = 1;
+  for (const auto& attack : StandardAttackSuite()) {
+    Rng attack_rng(41);
+    Histogram attacked = attack->Apply(outcome.value().watermarked,
+                                       attack_rng);
+    DetectResult result = scheme.value()->Detect(
+        attacked, outcome.value().key, tolerant);
+    EXPECT_GE(result.verified_fraction, 0.0) << attack->name();
+    if (attack->name() == "re-watermark") {
+      // Re-watermarking barely distorts — the honest watermark survives.
+      EXPECT_TRUE(result.accepted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,147 @@
+#include "api/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/freqywm_scheme.h"
+
+namespace freqywm {
+namespace {
+
+TEST(OptionBagTest, FromStringParsesKeyValuePairs) {
+  auto bag = OptionBag::FromString("budget=2.5, z=131 ,seed=42,,");
+  ASSERT_TRUE(bag.ok()) << bag.status();
+  EXPECT_EQ(bag.value().GetDouble("budget", 0).value(), 2.5);
+  EXPECT_EQ(bag.value().GetU64("z", 0).value(), 131u);
+  EXPECT_EQ(bag.value().GetU64("seed", 0).value(), 42u);
+  EXPECT_FALSE(bag.value().Has("missing"));
+  EXPECT_EQ(bag.value().GetU64("missing", 7).value(), 7u);
+}
+
+TEST(OptionBagTest, FromStringRejectsMalformedPairs) {
+  EXPECT_EQ(OptionBag::FromString("budget").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(OptionBag::FromString("=5").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptionBagTest, TypedGettersRejectGarbageValues) {
+  OptionBag bag;
+  bag.Set("budget", "not-a-number");
+  bag.Set("z", "-3");
+  bag.Set("alpha", "2.5x");
+  EXPECT_EQ(bag.GetDouble("budget", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bag.GetU64("z", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bag.GetDouble("alpha", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptionBagTest, ExpectOnlyNamesTheOffendingKey) {
+  OptionBag bag;
+  bag.Set("budget", "2");
+  bag.Set("bugdet", "2");  // typo
+  Status s = bag.ExpectOnly({"budget", "z"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("bugdet"), std::string::npos);
+}
+
+TEST(SchemeFactoryTest, RegisteredNamesContainsPaperSchemes) {
+  std::vector<std::string> names = SchemeFactory::RegisteredNames();
+  for (const char* expected : {"freqywm", "wm-obt", "wm-rvs"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SchemeFactoryTest, CreateUnknownSchemeIsNotFound) {
+  auto created = SchemeFactory::Create("no-such-scheme");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemeFactoryTest, CreateAppliesOptionBag) {
+  OptionBag bag;
+  bag.Set("budget", "3.5");
+  bag.Set("z", "67");
+  bag.Set("strategy", "greedy");
+  bag.Set("seed", "9");
+  auto created = SchemeFactory::Create("freqywm", bag);
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto* scheme = dynamic_cast<FreqyWmScheme*>(created.value().get());
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(scheme->options().budget_percent, 3.5);
+  EXPECT_EQ(scheme->options().modulus_bound, 67u);
+  EXPECT_EQ(scheme->options().strategy, SelectionStrategy::kGreedy);
+  EXPECT_EQ(scheme->options().seed, 9u);
+}
+
+TEST(SchemeFactoryTest, BuildersRejectUnknownAndInvalidOptions) {
+  OptionBag typo;
+  typo.Set("bugdet", "2");
+  EXPECT_EQ(SchemeFactory::Create("freqywm", typo).status().code(),
+            StatusCode::kInvalidArgument);
+
+  OptionBag bad_enum;
+  bad_enum.Set("strategy", "fastest");
+  EXPECT_EQ(SchemeFactory::Create("freqywm", bad_enum).status().code(),
+            StatusCode::kInvalidArgument);
+
+  OptionBag bad_bits;
+  bad_bits.Set("bits", "10x01");
+  EXPECT_EQ(SchemeFactory::Create("wm-obt", bad_bits).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchemeFactory::Create("wm-rvs", bad_bits).status().code(),
+            StatusCode::kInvalidArgument);
+
+  OptionBag zero_partitions;
+  zero_partitions.Set("partitions", "0");
+  EXPECT_EQ(
+      SchemeFactory::Create("wm-obt", zero_partitions).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SchemeFactoryTest, RegisterValidatesNameAndRejectsDuplicates) {
+  EXPECT_EQ(SchemeFactory::Register("", [](const OptionBag&) {
+              return Result<std::unique_ptr<WatermarkScheme>>(
+                  Status::Internal("unused"));
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchemeFactory::Register("bad name", [](const OptionBag&) {
+              return Result<std::unique_ptr<WatermarkScheme>>(
+                  Status::Internal("unused"));
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SchemeFactory::Register("freqywm", [](const OptionBag&) {
+              return Result<std::unique_ptr<WatermarkScheme>>(
+                  Status::Internal("unused"));
+            }).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemeFactoryTest, OutOfTreeSchemeJoinsTheRegistry) {
+  // A third-party scheme registered at runtime becomes creatable by name.
+  // (It stays registered for the process lifetime; the conformance suite's
+  // parameter list was fixed at static-init time, so this does not leak
+  // into other tests.)
+  Status s = SchemeFactory::Register(
+      "unit-test-scheme", [](const OptionBag& bag)
+          -> Result<std::unique_ptr<WatermarkScheme>> {
+        FREQYWM_RETURN_NOT_OK(bag.ExpectOnly({"seed"}));
+        GenerateOptions o;
+        FREQYWM_ASSIGN_OR_RETURN(o.seed, bag.GetU64("seed", 1));
+        return std::unique_ptr<WatermarkScheme>(
+            std::make_unique<FreqyWmScheme>(o));
+      });
+  ASSERT_TRUE(s.ok()) << s;
+  auto created = SchemeFactory::Create("unit-test-scheme");
+  EXPECT_TRUE(created.ok()) << created.status();
+  std::vector<std::string> names = SchemeFactory::RegisteredNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "unit-test-scheme"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -1,0 +1,117 @@
+#include "api/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "api/wm_obt_scheme.h"
+#include "api/wm_rvs_scheme.h"
+
+namespace freqywm {
+namespace {
+
+TEST(SchemeKeyTest, SerializeDeserializeRoundTrip) {
+  SchemeKey key{"freqywm", "line one\nline two\n"};
+  auto parsed = SchemeKey::Deserialize(key.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value(), key);
+}
+
+TEST(SchemeKeyTest, EmptyPayloadRoundTrips) {
+  SchemeKey key{"wm-obt", ""};
+  auto parsed = SchemeKey::Deserialize(key.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value(), key);
+}
+
+TEST(SchemeKeyTest, DeserializeRejectsGarbage) {
+  EXPECT_EQ(SchemeKey::Deserialize("").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(SchemeKey::Deserialize("wrong magic\nscheme x\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(
+      SchemeKey::Deserialize("freqywm-scheme-key v1\nnoscheme\n")
+          .status()
+          .code(),
+      StatusCode::kCorruption);
+  EXPECT_EQ(SchemeKey::Deserialize("freqywm-scheme-key v1\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SchemeKeyTest, SaveLoadFileRoundTrip) {
+  SchemeKey key{"wm-rvs", "wm-rvs-key v1\nkey_seed 7\n"};
+  std::string path = ::testing::TempDir() + "/scheme_key_test.key";
+  ASSERT_TRUE(key.SaveToFile(path).ok());
+  auto loaded = SchemeKey::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value(), key);
+  std::remove(path.c_str());
+  EXPECT_EQ(SchemeKey::LoadFromFile(path).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WmObtKeyPayloadTest, RoundTripPreservesDetectionParameters) {
+  WmObtOptions options;
+  options.key_seed = 0xdead;
+  options.num_partitions = 12;
+  options.condition = 0.6251;
+  options.decode_threshold = 0.3341;
+  options.watermark_bits = {1, 0, 0, 1};
+  auto parsed = WmObtScheme::ParseKeyPayload(
+      WmObtScheme::SerializeKeyPayload(options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().key_seed, options.key_seed);
+  EXPECT_EQ(parsed.value().num_partitions, options.num_partitions);
+  EXPECT_DOUBLE_EQ(parsed.value().condition, options.condition);
+  EXPECT_DOUBLE_EQ(parsed.value().decode_threshold,
+                   options.decode_threshold);
+  EXPECT_EQ(parsed.value().watermark_bits, options.watermark_bits);
+}
+
+TEST(WmObtKeyPayloadTest, RejectsMissingAndMalformedFields) {
+  EXPECT_FALSE(WmObtScheme::ParseKeyPayload("").ok());
+  EXPECT_FALSE(WmObtScheme::ParseKeyPayload("wm-obt-key v1\n").ok());
+  EXPECT_FALSE(
+      WmObtScheme::ParseKeyPayload(
+          "wm-obt-key v1\nkey_seed x\nnum_partitions 4\ncondition 0.7\n"
+          "decode_threshold 0.1\nbits 101\n")
+          .ok());
+  EXPECT_FALSE(
+      WmObtScheme::ParseKeyPayload(
+          "wm-obt-key v1\nkey_seed 1\nnum_partitions 0\ncondition 0.7\n"
+          "decode_threshold 0.1\nbits 101\n")
+          .ok());
+  EXPECT_FALSE(
+      WmObtScheme::ParseKeyPayload(
+          "wm-obt-key v1\nkey_seed 1\nkey_seed 2\nnum_partitions 4\n"
+          "condition 0.7\ndecode_threshold 0.1\nbits 101\n")
+          .ok());
+}
+
+TEST(WmRvsKeyPayloadTest, RoundTripPreservesDetectionParameters) {
+  WmRvsOptions options;
+  options.key_seed = 0xbeef;
+  options.max_digit_position = 2;
+  options.watermark_bits = {0, 1, 1};
+  auto parsed = WmRvsScheme::ParseKeyPayload(
+      WmRvsScheme::SerializeKeyPayload(options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().key_seed, options.key_seed);
+  EXPECT_EQ(parsed.value().max_digit_position, options.max_digit_position);
+  EXPECT_EQ(parsed.value().watermark_bits, options.watermark_bits);
+}
+
+TEST(WmRvsKeyPayloadTest, RejectsMalformedFields) {
+  EXPECT_FALSE(WmRvsScheme::ParseKeyPayload("").ok());
+  EXPECT_FALSE(
+      WmRvsScheme::ParseKeyPayload(
+          "wm-rvs-key v1\nkey_seed 1\nmax_digit_position 99\nbits 1\n")
+          .ok());
+  EXPECT_FALSE(
+      WmRvsScheme::ParseKeyPayload(
+          "wm-rvs-key v1\nkey_seed 1\nmax_digit_position 1\nbits 12\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -92,6 +92,54 @@ TEST(WmObtTest, BreaksRankingUnlikeFreqyWm) {
   EXPECT_GT(cmp.changed, cmp.compared / 4);
 }
 
+TEST(WmObtTest, PartitionStatisticsMatchEmbedReportedStats) {
+  Histogram h = MakeHist(8, 200, 200000);
+  WmObtOptions o = FastOptions();
+  Rng rng(8);
+  WmObtStats stats;
+  Histogram wm = EmbedWmObt(h, o, rng, &stats);
+  std::vector<double> recomputed = WmObtPartitionStatistics(wm, o);
+  ASSERT_EQ(recomputed.size(), o.num_partitions);
+  for (size_t p = 0; p < o.num_partitions; ++p) {
+    if (recomputed[p] < 0) continue;  // empty partition
+    EXPECT_NEAR(recomputed[p], stats.partition_statistic[p], 1e-12);
+  }
+}
+
+TEST(WmObtTest, DetectSeparatesOwnKeyFromForeignKey) {
+  Histogram h = MakeHist(9, 200, 200000);
+  WmObtOptions o = FastOptions();
+  Rng rng(9);
+  Histogram wm = EmbedWmObt(h, o, rng);
+
+  // Calibrate a decode threshold between the two bit classes, as the
+  // scheme wrapper does at embed time.
+  std::vector<double> stats = WmObtPartitionStatistics(wm, o);
+  double lo_max = -1.0, hi_min = 2.0;
+  for (size_t p = 0; p < stats.size(); ++p) {
+    if (stats[p] < 0) continue;
+    if (o.watermark_bits[p % o.watermark_bits.size()] == 1) {
+      hi_min = std::min(hi_min, stats[p]);
+    } else {
+      lo_max = std::max(lo_max, stats[p]);
+    }
+  }
+  ASSERT_GE(lo_max, 0.0);
+  ASSERT_LE(hi_min, 1.0);
+  o.decode_threshold = (lo_max + hi_min) / 2.0;
+
+  DetectOptions d;
+  d.min_pairs = 2;
+  d.pair_threshold = 1;  // one wrongly-decoded partition allowed
+  DetectResult own = DetectWmObt(wm, o, d);
+  EXPECT_TRUE(own.accepted);
+
+  WmObtOptions foreign = o;
+  foreign.key_seed = 0x4444;
+  DetectResult wrong = DetectWmObt(wm, foreign, d);
+  EXPECT_FALSE(wrong.accepted);
+}
+
 TEST(WmObtTest, DeterministicForSeed) {
   Histogram h = MakeHist(6);
   Rng r1(7), r2(7);

@@ -89,6 +89,44 @@ TEST(WmRvsTest, BreaksRankingInTheTail) {
   EXPECT_GT(cmp.changed, cmp.compared / 4);
 }
 
+TEST(WmRvsTest, DetectAcceptsOwnEmbeddingAndRejectsForeignKey) {
+  Histogram h = MakeHist(9);
+  WmRvsOptions owner;
+  owner.key_seed = 0x475;
+  Histogram wm = EmbedWmRvs(h, owner);
+
+  DetectOptions d;
+  d.min_pairs = 4;
+  DetectResult own = DetectWmRvs(wm, owner, d);
+  EXPECT_TRUE(own.accepted);
+  EXPECT_GT(own.verified_fraction, 0.9);
+
+  // Clean data under the owner's key: only chance-level digit matches.
+  DetectResult clean = DetectWmRvs(h, owner, d);
+  EXPECT_FALSE(clean.accepted);
+  EXPECT_LT(clean.verified_fraction, 0.3);
+
+  // Watermarked data under a foreign key: the digits don't line up.
+  WmRvsOptions foreign = owner;
+  foreign.key_seed = 0x999;
+  DetectResult wrong = DetectWmRvs(wm, foreign, d);
+  EXPECT_FALSE(wrong.accepted);
+  EXPECT_LT(wrong.verified_fraction, 0.3);
+}
+
+TEST(WmRvsTest, DetectionDoesNotSurviveReversal) {
+  // The reversible property also removes the evidence: detection on the
+  // restored histogram collapses to the chance floor.
+  Histogram h = MakeHist(10);
+  WmRvsOptions o;
+  WmRvsSideTable side;
+  Histogram wm = EmbedWmRvs(h, o, &side);
+  Histogram restored = ReverseWmRvs(wm, side);
+  DetectOptions d;
+  d.min_pairs = 4;
+  EXPECT_FALSE(DetectWmRvs(restored, o, d).accepted);
+}
+
 TEST(WmRvsTest, SimilarityHigherThanWmObtStyleDistortion) {
   // WM-RVS distorts each value by < 100, so cosine similarity stays high
   // (the paper reports 96%) — but ranking is still destroyed.
