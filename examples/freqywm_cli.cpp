@@ -4,10 +4,14 @@
 //   freqywm_cli generate <tokens-in> <tokens-out> <key-out>
 //               [--scheme NAME] [--opt k=v,...]
 //               [--budget B] [--z Z] [--min-modulus M] [--strategy S]
-//               [--seed N]
+//               [--seed N] [--threads N]
 //   freqywm_cli detect   <tokens-in> <key-in> [--t T] [--k K]
 //               [--symmetric] [--original-size N]
 //   freqywm_cli schemes
+//
+// `--threads N` (N > 1) runs the embed with the histogram build sharded
+// across a thread pool (src/exec/); the output is bit-identical to the
+// serial run.
 //
 // Schemes are selected at runtime through the `SchemeFactory`; `--opt`
 // passes scheme-specific options as a generic bag (see `schemes` for the
@@ -18,16 +22,21 @@
 //
 // Token files are one token per line (data/io.h).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/factory.h"
 #include "api/scheme.h"
+#include "common/string_util.h"
 #include "core/secrets.h"
 #include "data/io.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
 
 using namespace freqywm;
 
@@ -40,7 +49,7 @@ void Usage() {
       "  freqywm_cli generate <in> <out> <key> [--scheme NAME]\n"
       "              [--opt k=v,...] [--budget B] [--z Z]\n"
       "              [--min-modulus M] [--strategy optimal|greedy|random]\n"
-      "              [--seed N]\n"
+      "              [--seed N] [--threads N]\n"
       "  freqywm_cli detect <in> <key> [--t T] [--k K] [--symmetric]\n"
       "              [--original-size N]\n"
       "  freqywm_cli schemes\n");
@@ -57,6 +66,19 @@ bool ParseFlag(int argc, char** argv, int& i, const char* name,
   return true;
 }
 
+/// Strict numeric flag parsing: the whole token must be digits ("12abc",
+/// " -5" and overflowing values are rejected instead of silently wrapped).
+uint64_t ParseU64Value(const char* flag, const std::string& text) {
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+  if (!IsInteger(text) || text[0] == '-' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
 int RunGenerate(int argc, char** argv) {
   if (argc < 5) {
     Usage();
@@ -67,11 +89,15 @@ int RunGenerate(int argc, char** argv) {
   const std::string key_path = argv[4];
 
   std::string scheme_name = "freqywm";
+  uint64_t num_threads = 1;
   OptionBag bag;
   for (int i = 5; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argc, argv, i, "--scheme", &v)) {
       scheme_name = v;
+    } else if (ParseFlag(argc, argv, i, "--threads", &v)) {
+      num_threads = ParseU64Value("--threads", v);
+      if (num_threads == 0) num_threads = ThreadPool::HardwareThreads();
     } else if (ParseFlag(argc, argv, i, "--opt", &v)) {
       auto parsed = OptionBag::FromString(v);
       if (!parsed.ok()) {
@@ -113,7 +139,13 @@ int RunGenerate(int argc, char** argv) {
                  dataset.status().ToString().c_str());
     return 1;
   }
-  auto result = scheme.value()->EmbedDataset(dataset.value());
+  // The pool is optional and the outcome identical either way; --threads
+  // only changes how fast the histogram aggregation runs. N is the total
+  // parallelism — this thread participates, so N-1 workers.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads - 1);
+  ExecContext exec{pool.get()};
+  auto result = scheme.value()->EmbedDataset(dataset.value(), exec);
   if (!result.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  result.status().ToString().c_str());
@@ -178,11 +210,11 @@ int RunDetect(int argc, char** argv) {
   for (int i = 4; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argc, argv, i, "--t", &v)) {
-      options.pair_threshold = std::strtoull(v.c_str(), nullptr, 10);
+      options.pair_threshold = ParseU64Value("--t", v);
     } else if (ParseFlag(argc, argv, i, "--k", &v)) {
-      options.min_pairs = std::strtoull(v.c_str(), nullptr, 10);
+      options.min_pairs = ParseU64Value("--k", v);
     } else if (ParseFlag(argc, argv, i, "--original-size", &v)) {
-      original_size = std::strtoull(v.c_str(), nullptr, 10);
+      original_size = ParseU64Value("--original-size", v);
     } else if (std::strcmp(argv[i], "--symmetric") == 0) {
       options.symmetric_residue = true;
     } else {

@@ -7,33 +7,13 @@
 
 #include "api/factory.h"
 #include "common/string_util.h"
+#include "exec/batch_detector.h"
 
 namespace freqywm {
 
 namespace {
 constexpr char kMagicV1[] = "freqywm-registry v1";
 constexpr char kMagicV2[] = "freqywm-registry v2";
-
-/// Schemes needed by a trace, instantiated once per distinct tag.
-/// Detection parameters live entirely in each record's key, so
-/// default-configured scheme objects suffice.
-class SchemeCache {
- public:
-  const WatermarkScheme* Get(const std::string& name) {
-    auto it = schemes_.find(name);
-    if (it == schemes_.end()) {
-      auto created = SchemeFactory::Create(name);
-      it = schemes_
-               .emplace(name, created.ok() ? std::move(created).value()
-                                           : nullptr)
-               .first;
-    }
-    return it->second.get();
-  }
-
- private:
-  std::map<std::string, std::unique_ptr<WatermarkScheme>> schemes_;
-};
 
 void SortStrongestFirst(std::vector<TraceMatch>& matches) {
   std::stable_sort(matches.begin(), matches.end(),
@@ -111,6 +91,38 @@ std::vector<TraceMatch> FingerprintRegistry::TraceWithRecommendedOptions(
                          const FingerprintRecord& record) {
                         return scheme.RecommendedDetectOptions(record.key);
                       });
+}
+
+std::vector<std::vector<TraceMatch>> FingerprintRegistry::TraceSuspects(
+    const std::vector<Histogram>& suspects,
+    const TraceOptions& options) const {
+  std::vector<SchemeKey> keys;
+  keys.reserve(records_.size());
+  for (const auto& record : records_) keys.push_back(record.key);
+
+  BatchDetectOptions batch;
+  batch.num_threads = options.num_threads;
+  batch.use_recommended_options = options.use_recommended_options;
+  batch.detect_options = options.detect_options;
+  std::vector<std::vector<DetectResult>> detections =
+      BatchDetector(batch).Run(suspects, keys);
+
+  // Reduce each suspect's row exactly as the serial trace does: keep the
+  // accepted records in registration order, then sort strongest first
+  // (stable, so registration order breaks ties). Unregistered schemes
+  // yield default (rejected) results and drop out, matching the serial
+  // skip.
+  std::vector<std::vector<TraceMatch>> matches(suspects.size());
+  for (size_t i = 0; i < suspects.size(); ++i) {
+    for (size_t j = 0; j < records_.size(); ++j) {
+      if (!detections[i][j].accepted) continue;
+      matches[i].push_back(TraceMatch{records_[j].buyer_id,
+                                      records_[j].key.scheme,
+                                      detections[i][j]});
+    }
+    SortStrongestFirst(matches[i]);
+  }
+  return matches;
 }
 
 std::string FingerprintRegistry::Serialize() const {

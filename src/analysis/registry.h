@@ -27,6 +27,27 @@ struct TraceMatch {
   /// Scheme tag of the matching record (useful when buyers mix schemes).
   std::string scheme;
   DetectResult detection;
+
+  friend bool operator==(const TraceMatch& a, const TraceMatch& b) {
+    return a.buyer_id == b.buyer_id && a.scheme == b.scheme &&
+           a.detection == b.detection;
+  }
+};
+
+/// Knobs of `FingerprintRegistry::TraceSuspects` — the batch trace over a
+/// whole set of suspect copies (DESIGN.md §7).
+struct TraceOptions {
+  /// Opt-in parallelism: 1 (default) runs the serial reference path; > 1
+  /// evaluates the (suspect × record) detection matrix on that many
+  /// threads via the `BatchDetector`. Results are identical either way.
+  size_t num_threads = 1;
+
+  /// When true (default), each record is detected under its scheme's
+  /// `RecommendedDetectOptions` (the `TraceWithRecommendedOptions`
+  /// semantics); when false, `detect_options` applies to every record
+  /// (the fixed-options `Trace` semantics).
+  bool use_recommended_options = true;
+  DetectOptions detect_options;
 };
 
 /// The immutable escrow index from the paper's introduction: a seller (or
@@ -69,6 +90,17 @@ class FingerprintRegistry {
   /// per-scheme accept thresholds instead of one global setting.
   std::vector<TraceMatch> TraceWithRecommendedOptions(
       const Histogram& suspect) const;
+
+  /// Traces a whole batch of suspect copies — the marketplace workload
+  /// where one owner screens many surfaced datasets at once. Element `i`
+  /// of the result is exactly what the serial per-suspect call
+  /// (`TraceWithRecommendedOptions(suspects[i])`, or
+  /// `Trace(suspects[i], options.detect_options)` when
+  /// `use_recommended_options` is false) returns, independent of
+  /// `options.num_threads`.
+  std::vector<std::vector<TraceMatch>> TraceSuspects(
+      const std::vector<Histogram>& suspects,
+      const TraceOptions& options = {}) const;
 
   /// Serializes the whole registry (buyer ids + scheme-tagged keys).
   std::string Serialize() const;

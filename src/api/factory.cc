@@ -1,6 +1,8 @@
 #include "api/factory.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 
@@ -51,9 +53,16 @@ Result<double> OptionBag::GetDouble(const std::string& key,
   const char* begin = it->second.c_str();
   char* end = nullptr;
   double value = std::strtod(begin, &end);
+  // The whole token must parse ("1.5abc" is garbage, not 1.5) and the
+  // value must be finite — "inf"/"nan" and overflowing literals like
+  // "1e999" would poison every downstream budget/threshold computation.
   if (end == begin || *end != '\0') {
     return Status::InvalidArgument("option '" + key + "': '" + it->second +
                                    "' is not a number");
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("option '" + key + "': '" + it->second +
+                                   "' is not a finite number");
   }
   return value;
 }
@@ -66,7 +75,13 @@ Result<uint64_t> OptionBag::GetU64(const std::string& key,
     return Status::InvalidArgument("option '" + key + "': '" + it->second +
                                    "' is not a non-negative integer");
   }
-  return std::strtoull(it->second.c_str(), nullptr, 10);
+  errno = 0;
+  uint64_t value = std::strtoull(it->second.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("option '" + key + "': '" + it->second +
+                                   "' overflows uint64");
+  }
+  return value;
 }
 
 Status OptionBag::ExpectOnly(
@@ -279,6 +294,18 @@ Result<std::unique_ptr<WatermarkScheme>> SchemeFactory::Create(
     builder = it->second;
   }
   return builder(options);
+}
+
+const WatermarkScheme* SchemeCache::Get(const std::string& name) {
+  auto it = schemes_.find(name);
+  if (it == schemes_.end()) {
+    auto created = SchemeFactory::Create(name);
+    it = schemes_
+             .emplace(name, created.ok() ? std::move(created).value()
+                                         : nullptr)
+             .first;
+  }
+  return it->second.get();
 }
 
 std::vector<std::string> SchemeFactory::RegisteredNames() {

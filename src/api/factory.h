@@ -75,6 +75,26 @@ class SchemeFactory {
   static std::vector<std::string> RegisteredNames();
 };
 
+/// One default-configured scheme instance per distinct tag, created
+/// lazily through the factory. Detection parameters live entirely in each
+/// `SchemeKey`, so default-configured objects suffice for any detect-side
+/// work; unregistered tags map to nullptr. Shared by the serial
+/// `FingerprintRegistry` trace and the exec-layer `BatchDetector`, whose
+/// outputs must stay behaviorally identical.
+///
+/// Not thread-safe: populate on one thread (`Get` each tag up front),
+/// then share the const scheme pointers freely — `Detect` is const and
+/// stateless for every in-tree scheme.
+class SchemeCache {
+ public:
+  /// The cached scheme for `name`, created on first use; nullptr when the
+  /// name is not registered in the factory.
+  const WatermarkScheme* Get(const std::string& name);
+
+ private:
+  std::map<std::string, std::unique_ptr<WatermarkScheme>> schemes_;
+};
+
 }  // namespace freqywm
 
 #endif  // FREQYWM_API_FACTORY_H_

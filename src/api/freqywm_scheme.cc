@@ -56,8 +56,15 @@ Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original) const {
 
 Result<DatasetEmbedOutcome> FreqyWmScheme::EmbedDataset(
     const Dataset& original) const {
-  FREQYWM_ASSIGN_OR_RETURN(DatasetGenerateResult generated,
-                           WatermarkGenerator(options_).Generate(original));
+  return EmbedDataset(original, ExecContext{});
+}
+
+Result<DatasetEmbedOutcome> FreqyWmScheme::EmbedDataset(
+    const Dataset& original, const ExecContext& exec) const {
+  FREQYWM_ASSIGN_OR_RETURN(
+      DatasetGenerateResult generated,
+      WatermarkGenerator(options_).Generate(original,
+                                            exec.BuildHistogram(original)));
   DatasetEmbedOutcome out;
   out.key = MakeKey(generated.report.secrets);
   out.report = MakeReport(generated.report);

@@ -24,6 +24,8 @@ class FreqyWmScheme : public WatermarkScheme {
   Result<EmbedOutcome> Embed(const Histogram& original) const override;
   Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original) const override;
+  Result<DatasetEmbedOutcome> EmbedDataset(
+      const Dataset& original, const ExecContext& exec) const override;
   DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
                       const DetectOptions& options) const override;
   DetectOptions RecommendedDetectOptions(const SchemeKey& key) const override;

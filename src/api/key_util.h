@@ -47,25 +47,48 @@ inline std::string FormatDouble(double value) {
 }
 
 /// Parses "<magic>\n(<name> <value>\n)*" into a field map. The magic line
-/// must match exactly; duplicate fields are corruption.
+/// must match exactly (modulo surrounding whitespace); duplicate fields
+/// are corruption.
+///
+/// Key files travel between platforms and editors, so the parser is
+/// liberal in the whitespace dimension only: lines may end in CRLF (the
+/// trailing '\r' is stripped) and name/value may be separated by any run
+/// of spaces or tabs — a tab-separated key written on another platform is
+/// the same key, not a malformed one.
 inline Result<std::map<std::string, std::string>> ParseKeyFields(
     const std::string& payload, const std::string& magic) {
+  // Compare the magic with every run of spaces/tabs collapsed to one
+  // space, so "wm-obt-key\tv1\r\n" still identifies as "wm-obt-key v1".
+  auto collapse = [](std::string_view text) {
+    std::string out;
+    bool in_gap = false;
+    for (char c : StripWhitespace(text)) {
+      if (c == ' ' || c == '\t') {
+        in_gap = true;
+        continue;
+      }
+      if (in_gap) out.push_back(' ');
+      in_gap = false;
+      out.push_back(c);
+    }
+    return out;
+  };
   std::istringstream in(payload);
   std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != magic) {
+  if (!std::getline(in, line) || collapse(line) != collapse(magic)) {
     return Status::Corruption("bad key magic (want '" + magic + "')");
   }
   std::map<std::string, std::string> fields;
   while (std::getline(in, line)) {
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty()) continue;
-    size_t space = stripped.find(' ');
-    if (space == std::string_view::npos || space == 0) {
+    size_t sep = stripped.find_first_of(" \t");
+    if (sep == std::string_view::npos || sep == 0) {
       return Status::Corruption("malformed key line '" + line + "'");
     }
-    std::string name(stripped.substr(0, space));
-    if (!fields.emplace(name, std::string(stripped.substr(space + 1)))
-             .second) {
+    std::string name(stripped.substr(0, sep));
+    std::string_view value = StripWhitespace(stripped.substr(sep + 1));
+    if (!fields.emplace(name, std::string(value)).second) {
       return Status::Corruption("duplicate key field '" + name + "'");
     }
   }

@@ -66,7 +66,12 @@ Result<SchemeKey> SchemeKey::LoadFromFile(const std::string& path) {
 
 Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
     const Dataset& original) const {
-  Histogram hist = Histogram::FromDataset(original);
+  return EmbedDataset(original, ExecContext{});
+}
+
+Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
+    const Dataset& original, const ExecContext& exec) const {
+  Histogram hist = exec.BuildHistogram(original);
   FREQYWM_ASSIGN_OR_RETURN(EmbedOutcome outcome, Embed(hist));
   Rng rng(dataset_transform_seed());
   DatasetEmbedOutcome out;

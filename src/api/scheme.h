@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
+#include "exec/exec_context.h"
 
 namespace freqywm {
 
@@ -101,6 +102,14 @@ class WatermarkScheme {
   /// matches); schemes with a native row-level path override it.
   virtual Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original) const;
+
+  /// Exec-aware variant of `EmbedDataset`: when `exec` carries a thread
+  /// pool, the histogram build (the token→count aggregation — the one
+  /// data-size-bound stage of embedding) is sharded across it and merged
+  /// (DESIGN.md §7). The outcome is bit-identical to the serial overload
+  /// for any thread count; overriding schemes must preserve that contract.
+  virtual Result<DatasetEmbedOutcome> EmbedDataset(
+      const Dataset& original, const ExecContext& exec) const;
 
   /// Runs detection of `key` on a suspect histogram. `options` semantics
   /// per scheme: `min_pairs` is always the minimum number of verified

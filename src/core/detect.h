@@ -22,6 +22,17 @@ struct DetectResult {
   /// pairs_verified / |Lwm| (0 when Lwm is empty); the "success rate"
   /// series plotted in Figs. 4 and 5.
   double verified_fraction = 0.0;
+
+  /// Exact equality — the batch detection engine's determinism contract is
+  /// element-wise identity with the serial path, fractions included.
+  friend bool operator==(const DetectResult& a, const DetectResult& b) {
+    return a.accepted == b.accepted && a.pairs_found == b.pairs_found &&
+           a.pairs_verified == b.pairs_verified &&
+           a.verified_fraction == b.verified_fraction;
+  }
+  friend bool operator!=(const DetectResult& a, const DetectResult& b) {
+    return !(a == b);
+  }
 };
 
 /// Runs watermark detection on a suspect histogram.

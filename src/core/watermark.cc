@@ -86,7 +86,11 @@ Result<HistogramGenerateResult> WatermarkGenerator::GenerateFromHistogram(
 
 Result<DatasetGenerateResult> WatermarkGenerator::Generate(
     const Dataset& original) const {
-  Histogram hist = Histogram::FromDataset(original);
+  return Generate(original, Histogram::FromDataset(original));
+}
+
+Result<DatasetGenerateResult> WatermarkGenerator::Generate(
+    const Dataset& original, const Histogram& hist) const {
   FREQYWM_ASSIGN_OR_RETURN(HistogramGenerateResult hist_result,
                            GenerateFromHistogram(hist));
   Rng rng(options_.seed == 0

@@ -73,6 +73,13 @@ class WatermarkGenerator {
   /// Watermarks a dataset end-to-end (histogram + data transformation).
   Result<DatasetGenerateResult> Generate(const Dataset& original) const;
 
+  /// Like `Generate`, but with a caller-prebuilt histogram of `original`
+  /// (e.g. the sharded parallel build in `exec/parallel_histogram.h`).
+  /// Precondition: `hist` equals `Histogram::FromDataset(original)`; the
+  /// output is then identical to `Generate(original)`.
+  Result<DatasetGenerateResult> Generate(const Dataset& original,
+                                         const Histogram& hist) const;
+
   const GenerateOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,68 @@
+#include "exec/batch_detector.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/factory.h"
+
+namespace freqywm {
+
+BatchDetector::BatchDetector(BatchDetectOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<std::vector<DetectResult>> BatchDetector::Run(
+    const std::vector<Histogram>& suspects,
+    const std::vector<SchemeKey>& keys) const {
+  if (options_.num_threads <= 1) return Run(suspects, keys, nullptr);
+  // num_threads is the *total* parallelism; the submitting thread helps
+  // inside ParallelFor, so the pool needs one worker fewer.
+  ThreadPool pool(options_.num_threads - 1);
+  return Run(suspects, keys, &pool);
+}
+
+std::vector<std::vector<DetectResult>> BatchDetector::Run(
+    const std::vector<Histogram>& suspects,
+    const std::vector<SchemeKey>& keys, ThreadPool* pool) const {
+  std::vector<std::vector<DetectResult>> results(
+      suspects.size(), std::vector<DetectResult>(keys.size()));
+  if (suspects.empty() || keys.empty()) return results;
+
+  // One scheme per distinct tag (the same `SchemeCache` the serial
+  // registry trace uses), populated up front on the calling thread so the
+  // parallel phase only reads. Per-key detection settings are likewise
+  // resolved serially — scheme lookups and recommended-option derivation
+  // stay off the hot loop and deterministic regardless of scheduling.
+  SchemeCache cache;
+  std::vector<const WatermarkScheme*> key_scheme(keys.size(), nullptr);
+  std::vector<DetectOptions> key_options(keys.size());
+  for (size_t j = 0; j < keys.size(); ++j) {
+    key_scheme[j] = cache.Get(keys[j].scheme);
+    if (key_scheme[j] == nullptr) continue;
+    key_options[j] = options_.use_recommended_options
+                         ? key_scheme[j]->RecommendedDetectOptions(keys[j])
+                         : options_.detect_options;
+  }
+
+  auto detect_cell = [&](size_t i, size_t j) {
+    if (key_scheme[j] == nullptr) return;  // unregistered tag → rejected
+    results[i][j] = key_scheme[j]->Detect(suspects[i], keys[j],
+                                          key_options[j]);
+  };
+
+  if (pool == nullptr || pool->num_threads() == 0) {
+    for (size_t i = 0; i < suspects.size(); ++i) {
+      for (size_t j = 0; j < keys.size(); ++j) detect_cell(i, j);
+    }
+    return results;
+  }
+
+  const size_t cells = suspects.size() * keys.size();
+  pool->ParallelFor(cells, [&](size_t c) {
+    detect_cell(c / keys.size(), c % keys.size());
+  });
+  return results;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,72 @@
+#ifndef FREQYWM_EXEC_BATCH_DETECTOR_H_
+#define FREQYWM_EXEC_BATCH_DETECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "api/scheme.h"
+#include "core/detect.h"
+#include "core/options.h"
+#include "data/histogram.h"
+#include "exec/thread_pool.h"
+
+namespace freqywm {
+
+/// Configuration of a `BatchDetector` run.
+struct BatchDetectOptions {
+  /// Total parallelism (worker threads; the submitting thread helps).
+  /// 1 → the serial reference path, bit-identical to a hand-written
+  /// nested `Detect` loop.
+  size_t num_threads = 1;
+
+  /// When true (default), each key is detected under its scheme's
+  /// `RecommendedDetectOptions(key)`; when false, `detect_options` applies
+  /// to every cell.
+  bool use_recommended_options = true;
+
+  /// Fixed per-cell settings, used when `use_recommended_options` is false.
+  DetectOptions detect_options;
+};
+
+/// The batch detection engine (DESIGN.md §7): evaluates the full
+/// |suspects| × |keys| matrix of `WatermarkScheme::Detect` calls — the
+/// marketplace workload where one owner traces many suspect copies against
+/// many escrowed keys.
+///
+/// Scheme instances are created once per distinct key tag and shared
+/// across threads (`Detect` is const and stateless for every in-tree
+/// scheme; out-of-tree schemes joining the factory must keep it so). Keys
+/// whose scheme tag is not registered yield a default (rejected)
+/// `DetectResult`, matching the serial `FingerprintRegistry::Trace`
+/// convention of skipping them.
+///
+/// Determinism contract: `result[i][j]` depends only on
+/// `(suspects[i], keys[j], options)` — never on thread count or schedule —
+/// so the parallel output is element-wise identical to the serial path
+/// (enforced for every registered scheme by
+/// `tests/exec/batch_detector_test.cc`).
+class BatchDetector {
+ public:
+  explicit BatchDetector(BatchDetectOptions options = {});
+
+  /// Runs the matrix: `Run(...)[i][j]` is the detection of `keys[j]` on
+  /// `suspects[i]`. Creates a transient pool when `num_threads > 1`.
+  std::vector<std::vector<DetectResult>> Run(
+      const std::vector<Histogram>& suspects,
+      const std::vector<SchemeKey>& keys) const;
+
+  /// Like `Run`, but borrows `pool` (may be null → serial). Lets callers
+  /// amortize one pool across many batches.
+  std::vector<std::vector<DetectResult>> Run(
+      const std::vector<Histogram>& suspects,
+      const std::vector<SchemeKey>& keys, ThreadPool* pool) const;
+
+  const BatchDetectOptions& options() const { return options_; }
+
+ private:
+  BatchDetectOptions options_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_BATCH_DETECTOR_H_

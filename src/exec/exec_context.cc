@@ -1,0 +1,17 @@
+#include "exec/exec_context.h"
+
+#include "exec/parallel_histogram.h"
+#include "exec/thread_pool.h"
+
+namespace freqywm {
+
+bool ExecContext::parallel() const {
+  return pool != nullptr && pool->num_threads() > 0;
+}
+
+Histogram ExecContext::BuildHistogram(const Dataset& dataset) const {
+  if (parallel()) return BuildHistogramSharded(dataset, *pool);
+  return Histogram::FromDataset(dataset);
+}
+
+}  // namespace freqywm

@@ -1,0 +1,33 @@
+#ifndef FREQYWM_EXEC_EXEC_CONTEXT_H_
+#define FREQYWM_EXEC_EXEC_CONTEXT_H_
+
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace freqywm {
+
+class ThreadPool;
+
+/// Execution resources threaded through dataset-level API calls
+/// (DESIGN.md §7). A default-constructed context means "serial"; attach a
+/// `ThreadPool` to opt into the sharded parallel paths. The context never
+/// owns the pool.
+///
+/// Determinism contract: every operation taking an `ExecContext` produces
+/// output identical to its serial counterpart — parallelism changes wall
+/// clock, never bytes.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+
+  /// True when a pool with at least one worker is attached.
+  bool parallel() const;
+
+  /// Builds the frequency histogram of `dataset`: sharded across the pool
+  /// when `parallel()`, `Histogram::FromDataset` otherwise. Both paths
+  /// return the identical histogram.
+  Histogram BuildHistogram(const Dataset& dataset) const;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_EXEC_CONTEXT_H_

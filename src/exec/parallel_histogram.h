@@ -1,0 +1,26 @@
+#ifndef FREQYWM_EXEC_PARALLEL_HISTOGRAM_H_
+#define FREQYWM_EXEC_PARALLEL_HISTOGRAM_H_
+
+#include "data/dataset.h"
+#include "data/histogram.h"
+#include "exec/thread_pool.h"
+
+namespace freqywm {
+
+/// Parallel `Histogram::FromDataset`: the token→count aggregation is
+/// sharded across the pool and merged (DESIGN.md §7).
+///
+/// Phase 1 splits the dataset into contiguous chunks, one counting task
+/// per chunk; each task partitions its counts by token hash into shards so
+/// that phase 2 can merge every shard independently (shard-disjoint token
+/// sets — no cross-shard synchronization). Phase 3 concatenates the shard
+/// entries and applies the histogram's deterministic descending sort.
+///
+/// The result is identical to `Histogram::FromDataset(dataset)` — same
+/// entry order, ranks and total — regardless of thread count; small
+/// datasets fall back to the serial build outright.
+Histogram BuildHistogramSharded(const Dataset& dataset, ThreadPool& pool);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_PARALLEL_HISTOGRAM_H_

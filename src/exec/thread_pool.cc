@@ -1,0 +1,146 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace freqywm {
+
+namespace {
+
+/// Shared state of one `ParallelFor` call. Lives in a `shared_ptr` captured
+/// by the helper tasks: a helper that is only dequeued after the loop
+/// finished claims an index >= n and exits without touching `body`, so the
+/// caller can return as soon as all `n` iterations are done — it never
+/// waits for stragglers that hold no work.
+struct ForState {
+  size_t n = 0;
+  const std::function<void(size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+/// Claims indices until exhausted. Whoever completes the last iteration
+/// wakes the caller; the notify happens with the mutex held so the wakeup
+/// cannot race past the caller's predicate check.
+void RunForChunk(ForState& state) {
+  while (true) {
+    size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.n) return;
+    (*state.body)(i);
+    if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.n) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareThreads();
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<TaskQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: pairs the notify with the wait predicate so
+    // a worker observing pending_ == 0 is guaranteed to see the wakeup.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  {
+    // Own queue: newest first (LIFO) — the classic work-stealing split.
+    TaskQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal oldest-first from the other queues.
+    for (size_t k = 1; k < queues_.size() && !task; ++k) {
+      TaskQueue& victim = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_release);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = &body;
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { RunForChunk(*state); });
+  }
+  RunForChunk(*state);  // the caller is a full participant
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace freqywm

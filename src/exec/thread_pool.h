@@ -1,0 +1,81 @@
+#ifndef FREQYWM_EXEC_THREAD_POOL_H_
+#define FREQYWM_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace freqywm {
+
+/// A small work-stealing thread pool — the execution substrate of the batch
+/// detection engine and the sharded histogram build (DESIGN.md §7).
+///
+/// Each worker owns a deque; `Submit` distributes tasks round-robin, a
+/// worker pops its own deque LIFO (cache-warm) and steals FIFO from the
+/// others when empty. `ParallelFor` is the main entry point for data
+/// parallelism: the calling thread participates in the loop (claiming
+/// indices from the same atomic counter as the workers), so a `ParallelFor`
+/// issued from inside a pool task cannot deadlock even when every worker is
+/// busy — the caller simply drains the remaining indices itself.
+///
+/// Tasks must not throw; error handling in this codebase is `Status`-based
+/// and parallel bodies communicate failure through their outputs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 → `HardwareThreads()`).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding callers helping in `ParallelFor`).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every `i` in `[0, n)` across the pool and the
+  /// calling thread, returning when all `n` iterations completed. Iteration
+  /// order across threads is unspecified; callers that need deterministic
+  /// output write results indexed by `i`.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  struct TaskQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+
+  /// Pops one task (own queue LIFO, then steals FIFO) and runs it.
+  /// Returns false when every queue was empty.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<TaskQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Tasks pushed but not yet popped; the wait predicate reads it so a
+  /// submit between "queues empty" and "worker asleep" is never lost.
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_THREAD_POOL_H_

@@ -260,6 +260,84 @@ TEST(RegistryTest, MixedSchemeTraceFindsOnlyTheEmbeddedScheme) {
   EXPECT_EQ(matches[0].scheme, "wm-rvs");
 }
 
+TEST(RegistryTest, TraceSuspectsMatchesSerialTracePerSuspect) {
+  // The batch trace must be exactly the serial per-suspect trace, at any
+  // thread count — both under recommended options and fixed options.
+  Rng rng(33);
+  PowerLawSpec spec;
+  spec.num_tokens = 200;
+  spec.sample_size = 150000;
+  spec.alpha = 0.6;
+  Histogram master = GeneratePowerLawHistogram(spec, rng);
+
+  FingerprintRegistry registry;
+  std::vector<Histogram> suspects;
+  for (const std::string& scheme_name : SchemeFactory::RegisteredNames()) {
+    OptionBag bag;
+    bag.Set("seed", "888");
+    auto scheme = SchemeFactory::Create(scheme_name, bag);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    auto outcome = scheme.value()->Embed(master);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_TRUE(registry
+                    .Register("buyer-" + scheme_name,
+                              std::move(outcome.value().key))
+                    .ok());
+    suspects.push_back(std::move(outcome.value().watermarked));
+  }
+  suspects.push_back(master);  // a clean suspect: no matches expected
+
+  // Recommended-options semantics.
+  std::vector<std::vector<TraceMatch>> serial;
+  for (const Histogram& suspect : suspects) {
+    serial.push_back(registry.TraceWithRecommendedOptions(suspect));
+  }
+  for (size_t threads : {1, 4}) {
+    TraceOptions options;
+    options.num_threads = threads;
+    EXPECT_TRUE(registry.TraceSuspects(suspects, options) == serial)
+        << threads << " threads";
+  }
+  // Each buyer's copy matched at least its own key; clean copy matched
+  // nothing.
+  for (size_t i = 0; i + 1 < suspects.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "suspect " << i;
+  }
+  EXPECT_TRUE(serial.back().empty());
+
+  // Fixed-options semantics (the `Trace(suspect, options)` path).
+  DetectOptions fixed;
+  fixed.pair_threshold = 0;
+  fixed.min_pairs = 1;
+  std::vector<std::vector<TraceMatch>> serial_fixed;
+  for (const Histogram& suspect : suspects) {
+    serial_fixed.push_back(registry.Trace(suspect, fixed));
+  }
+  TraceOptions fixed_options;
+  fixed_options.num_threads = 4;
+  fixed_options.use_recommended_options = false;
+  fixed_options.detect_options = fixed;
+  EXPECT_TRUE(registry.TraceSuspects(suspects, fixed_options) ==
+              serial_fixed);
+}
+
+TEST(RegistryTest, TraceSuspectsSkipsUnregisteredSchemes) {
+  Rng rng(41);
+  PowerLawSpec spec;
+  spec.num_tokens = 150;
+  spec.sample_size = 80000;
+  spec.alpha = 0.6;
+  Histogram master = GeneratePowerLawHistogram(spec, rng);
+
+  FingerprintRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("ghost", SchemeKey{"not-a-scheme", "blob"}).ok());
+  auto batched = registry.TraceSuspects({master}, TraceOptions{});
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_TRUE(batched[0].empty());
+  EXPECT_TRUE(registry.TraceSuspects({}, TraceOptions{}).empty());
+}
+
 TEST(RegistryTest, RoundTripIsByteExactForForeignPayloads) {
   // Out-of-tree schemes may use payloads without a trailing newline (or
   // any line structure at all); serialization must not alter them.

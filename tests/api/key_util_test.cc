@@ -1,0 +1,78 @@
+#include "api/key_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace freqywm {
+namespace {
+
+constexpr char kMagic[] = "test-key v1";
+
+TEST(ParseKeyFieldsTest, ParsesSpaceSeparatedFields) {
+  auto fields = ParseKeyFields("test-key v1\nseed 42\nbits 101\n", kMagic);
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  EXPECT_EQ(fields.value().size(), 2u);
+  EXPECT_EQ(fields.value().at("seed"), "42");
+  EXPECT_EQ(fields.value().at("bits"), "101");
+}
+
+TEST(ParseKeyFieldsTest, ParsesTabSeparatedFields) {
+  auto fields = ParseKeyFields("test-key v1\nseed\t42\nbits\t\t101\n",
+                               kMagic);
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  EXPECT_EQ(fields.value().at("seed"), "42");
+  // Runs of separator whitespace collapse; the value is still "101".
+  EXPECT_EQ(fields.value().at("bits"), "101");
+}
+
+TEST(ParseKeyFieldsTest, ParsesCrlfLineEndings) {
+  auto fields =
+      ParseKeyFields("test-key v1\r\nseed 42\r\nbits 101\r\n", kMagic);
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  EXPECT_EQ(fields.value().at("seed"), "42");
+  EXPECT_EQ(fields.value().at("bits"), "101");
+}
+
+TEST(ParseKeyFieldsTest, SkipsBlankLinesAndStripsPadding) {
+  auto fields = ParseKeyFields(
+      "test-key v1\n\n   seed   42   \n\r\nbits 101\n", kMagic);
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  EXPECT_EQ(fields.value().size(), 2u);
+  EXPECT_EQ(fields.value().at("seed"), "42");
+}
+
+TEST(ParseKeyFieldsTest, RejectsBadMagicAndMalformedLines) {
+  EXPECT_EQ(ParseKeyFields("", kMagic).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseKeyFields("other-key v1\nseed 42\n", kMagic)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // A line with no separator is malformed, not silently dropped.
+  EXPECT_EQ(ParseKeyFields("test-key v1\njustonetoken\n", kMagic)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseKeyFields("test-key v1\nseed 1\nseed 2\n", kMagic)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ParseBitStringTest, RoundTripsAndRejectsGarbage) {
+  auto bits = ParseBitString("11010");
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(BitsToString(bits.value()), "11010");
+  EXPECT_FALSE(ParseBitString("").ok());
+  EXPECT_FALSE(ParseBitString("10x01").ok());
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (double v : {0.0966, 1.0 / 3.0, 12345.6789, 1e-17}) {
+    EXPECT_EQ(std::stod(FormatDouble(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace freqywm

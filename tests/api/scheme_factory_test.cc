@@ -39,6 +39,51 @@ TEST(OptionBagTest, TypedGettersRejectGarbageValues) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(OptionBagTest, GetDoubleRejectsTrailingGarbageAndNonFinite) {
+  OptionBag bag;
+  bag.Set("trailing", "1.5abc");
+  bag.Set("inf", "inf");
+  bag.Set("neg_inf", "-infinity");
+  bag.Set("nan", "nan");
+  bag.Set("overflow", "1e999");
+  bag.Set("empty", "");
+  for (const char* key :
+       {"trailing", "inf", "neg_inf", "nan", "overflow", "empty"}) {
+    Result<double> value = bag.GetDouble(key, 0);
+    EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument) << key;
+  }
+  // Ordinary numbers, including exponent notation, still parse.
+  bag.Set("ok", "-2.5e3");
+  ASSERT_TRUE(bag.GetDouble("ok", 0).ok());
+  EXPECT_EQ(bag.GetDouble("ok", 0).value(), -2500.0);
+}
+
+TEST(OptionBagTest, GetU64RejectsOverflow) {
+  OptionBag bag;
+  bag.Set("max", "18446744073709551615");  // 2^64 - 1: representable
+  bag.Set("over", "18446744073709551616");  // 2^64: not
+  bag.Set("way_over", "99999999999999999999999999");
+  ASSERT_TRUE(bag.GetU64("max", 0).ok());
+  EXPECT_EQ(bag.GetU64("max", 0).value(), 18446744073709551615ull);
+  EXPECT_EQ(bag.GetU64("over", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bag.GetU64("way_over", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptionBagTest, SchemeBuilderSurfacesBadNumericOption) {
+  // End-to-end: the CLI path `--opt budget=1.5abc` must fail creation, not
+  // silently embed with a half-parsed budget.
+  OptionBag bag;
+  bag.Set("budget", "1.5abc");
+  EXPECT_EQ(SchemeFactory::Create("freqywm", bag).status().code(),
+            StatusCode::kInvalidArgument);
+  OptionBag inf_bag;
+  inf_bag.Set("budget", "inf");
+  EXPECT_EQ(SchemeFactory::Create("freqywm", inf_bag).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(OptionBagTest, ExpectOnlyNamesTheOffendingKey) {
   OptionBag bag;
   bag.Set("budget", "2");

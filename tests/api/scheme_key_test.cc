@@ -101,6 +101,61 @@ TEST(WmRvsKeyPayloadTest, RoundTripPreservesDetectionParameters) {
   EXPECT_EQ(parsed.value().watermark_bits, options.watermark_bits);
 }
 
+// Regression: key files written on other platforms arrive with CRLF line
+// endings and/or tab-separated fields; both must parse as the same key
+// (ISSUE 2 — ParseKeyFields used to split on a literal ' ' only).
+TEST(WmObtKeyPayloadTest, AcceptsCrlfAndTabSeparatedPayload) {
+  WmObtOptions options;
+  options.key_seed = 0xdead;
+  options.num_partitions = 12;
+  options.condition = 0.6251;
+  options.decode_threshold = 0.3341;
+  options.watermark_bits = {1, 0, 0, 1};
+  std::string payload = WmObtScheme::SerializeKeyPayload(options);
+
+  std::string mangled;
+  for (char c : payload) {
+    if (c == ' ') {
+      mangled.push_back('\t');
+    } else if (c == '\n') {
+      mangled += "\r\n";
+    } else {
+      mangled.push_back(c);
+    }
+  }
+  auto parsed = WmObtScheme::ParseKeyPayload(mangled);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().key_seed, options.key_seed);
+  EXPECT_EQ(parsed.value().num_partitions, options.num_partitions);
+  EXPECT_DOUBLE_EQ(parsed.value().condition, options.condition);
+  EXPECT_DOUBLE_EQ(parsed.value().decode_threshold,
+                   options.decode_threshold);
+  EXPECT_EQ(parsed.value().watermark_bits, options.watermark_bits);
+}
+
+TEST(WmRvsKeyPayloadTest, AcceptsCrlfAndTabSeparatedPayload) {
+  WmRvsOptions options;
+  options.key_seed = 0xbeef;
+  options.max_digit_position = 2;
+  options.watermark_bits = {0, 1, 1};
+  std::string payload = WmRvsScheme::SerializeKeyPayload(options);
+  std::string mangled;
+  for (char c : payload) {
+    if (c == ' ') {
+      mangled.push_back('\t');
+    } else if (c == '\n') {
+      mangled += "\r\n";
+    } else {
+      mangled.push_back(c);
+    }
+  }
+  auto parsed = WmRvsScheme::ParseKeyPayload(mangled);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().key_seed, options.key_seed);
+  EXPECT_EQ(parsed.value().max_digit_position, options.max_digit_position);
+  EXPECT_EQ(parsed.value().watermark_bits, options.watermark_bits);
+}
+
 TEST(WmRvsKeyPayloadTest, RejectsMalformedFields) {
   EXPECT_FALSE(WmRvsScheme::ParseKeyPayload("").ok());
   EXPECT_FALSE(

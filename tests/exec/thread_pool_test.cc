@@ -1,0 +1,107 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace freqywm {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  std::atomic<int> counter{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] {
+        if (counter.fetch_add(1) + 1 == kTasks) {
+          std::lock_guard<std::mutex> lock(mutex);
+          cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return counter.load() == kTasks; });
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    // No explicit wait: the destructor must not drop queued tasks.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWritesByIndexAreDeterministic) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 517;
+  std::vector<size_t> out(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  int zero_calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+
+  std::atomic<int> one_calls{0};
+  pool.ParallelFor(1, [&](size_t) { one_calls.fetch_add(1); });
+  EXPECT_EQ(one_calls.load(), 1);
+
+  // More iterations than threads and vice versa.
+  std::atomic<int> few{0};
+  pool.ParallelFor(2, [&](size_t) { few.fetch_add(1); });
+  EXPECT_EQ(few.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor issued from inside a pool task must complete even when
+  // every worker is occupied: the issuing thread drains the inner loop
+  // itself.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ManySmallLoopsStress) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(64, [&](size_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsHasFloorOfOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace freqywm
