@@ -1,6 +1,7 @@
 // bench_batch_detect: throughput of the batch detection engine
 // (src/exec/batch_detector.h) against the serial per-cell loop, plus the
-// sharded parallel histogram build behind the parallel embed path.
+// sharded parallel histogram build behind the parallel embed path and the
+// key-prepared detection acceptance run (ISSUE 3).
 //
 // Workload: the paper's marketplace threat model — one owner escrowed a
 // fingerprint key per buyer (mixed schemes) and screens a batch of
@@ -9,13 +10,18 @@
 //
 // Reported: cells/second serial vs parallel at several thread counts, the
 // speedup, and an element-wise identity check between the two paths (the
-// determinism contract; also enforced by tests/exec/batch_detector_test.cc).
-// Speedups depend on the machine — on >= 4 physical cores the 4-thread row
-// is expected to exceed 2x.
+// determinism contract; also enforced by tests/exec/batch_detector_test.cc
+// and tests/exec/prepared_detect_test.cc). The 32-suspect x 8-key FreqyWM
+// section compares the PR 2 per-cell path (key parsed and every modulus
+// re-derived per cell) against the prepared-key engine, the before/after
+// counter behind the BENCH_batch_detect.json perf baseline. Speedups
+// depend on the machine; identity must hold everywhere — the process
+// exits non-zero on any mismatch (never on timing).
 
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,18 +43,25 @@ constexpr size_t kNumBuyers = 24;
 constexpr size_t kNumSuspects = 16;
 constexpr size_t kSuspectTokens = 4000;
 constexpr size_t kSuspectSamples = 400000;
-constexpr int kReps = 5;
 
-/// Embeds one fingerprint per buyer, schemes round-robin, on a shared
-/// original histogram; returns the escrowed keys and the buyers'
-/// watermarked copies.
+// The ISSUE 3 acceptance matrix: FreqyWM keys only, so the per-key
+// modulus table carries the whole before/after difference.
+constexpr size_t kAcceptSuspects = 32;
+constexpr size_t kAcceptKeys = 8;
+
+int Reps() { return bench::PerfSmoke() ? 1 : 5; }
+
+/// Embeds one fingerprint per buyer on a shared original histogram;
+/// returns the escrowed keys and the buyers' watermarked copies.
+/// `scheme_names` cycles round-robin (pass a single name for a
+/// single-scheme escrow).
 std::pair<std::vector<SchemeKey>, std::vector<Histogram>> MakeEscrow(
-    const Histogram& original) {
-  std::vector<std::string> names = SchemeFactory::RegisteredNames();
+    const Histogram& original, const std::vector<std::string>& scheme_names,
+    size_t num_buyers) {
   std::vector<SchemeKey> keys;
   std::vector<Histogram> copies;
-  for (size_t b = 0; b < kNumBuyers; ++b) {
-    const std::string& name = names[b % names.size()];
+  for (size_t b = 0; b < num_buyers; ++b) {
+    const std::string& name = scheme_names[b % scheme_names.size()];
     OptionBag bag;
     bag.Set("seed", std::to_string(1000 + b));
     // Keep the embed side cheap at this histogram size; detection cost is
@@ -67,9 +80,10 @@ std::pair<std::vector<SchemeKey>, std::vector<Histogram>> MakeEscrow(
 /// Suspect pool: leaked buyer copies (each matching exactly one escrowed
 /// key) interleaved with clean histograms, so the matrix holds both hits
 /// and misses.
-std::vector<Histogram> MakeSuspects(const std::vector<Histogram>& copies) {
+std::vector<Histogram> MakeSuspects(const std::vector<Histogram>& copies,
+                                    size_t num_suspects) {
   std::vector<Histogram> suspects;
-  for (size_t s = 0; s < kNumSuspects; ++s) {
+  for (size_t s = 0; s < num_suspects; ++s) {
     if (s % 3 == 2 || copies.empty()) {
       suspects.push_back(bench::MakeSynthetic(0.6, 500 + s, kSuspectTokens,
                                               kSuspectSamples));
@@ -81,13 +95,34 @@ std::vector<Histogram> MakeSuspects(const std::vector<Histogram>& copies) {
 }
 
 double BestOfReps(const std::function<void()>& fn) {
-  double best = 1e100;
-  for (int r = 0; r < kReps; ++r) {
-    Stopwatch timer;
-    fn();
-    best = std::min(best, timer.ElapsedSeconds());
+  return bench::BestOfReps(Reps(), fn);
+}
+
+/// The PR 2 per-cell path: per-key schemes and options resolved up front
+/// (as the old engine did), then every cell parses the key payload and
+/// re-derives every pair modulus from scratch. This is the "before" side
+/// of the acceptance counter.
+std::vector<std::vector<DetectResult>> UnpreparedSerialMatrix(
+    const std::vector<Histogram>& suspects,
+    const std::vector<SchemeKey>& keys) {
+  SchemeCache cache;
+  std::vector<const WatermarkScheme*> key_scheme(keys.size(), nullptr);
+  std::vector<DetectOptions> key_options(keys.size());
+  for (size_t j = 0; j < keys.size(); ++j) {
+    key_scheme[j] = cache.Get(keys[j].scheme);
+    if (key_scheme[j] == nullptr) continue;
+    key_options[j] = key_scheme[j]->RecommendedDetectOptions(keys[j]);
   }
-  return best;
+  std::vector<std::vector<DetectResult>> results(
+      suspects.size(), std::vector<DetectResult>(keys.size()));
+  for (size_t i = 0; i < suspects.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (key_scheme[j] == nullptr) continue;
+      results[i][j] =
+          key_scheme[j]->Detect(suspects[i], keys[j], key_options[j]);
+    }
+  }
+  return results;
 }
 
 }  // namespace
@@ -97,10 +132,17 @@ int main() {
       "batch detection engine: serial vs parallel (suspects x keys)",
       "system scale-out of the paper's \"verify very fast\" claim (§I)");
 
+  bool all_identical = true;
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"batch_detect\",\n  \"reps\": " << Reps()
+       << ",\n";
+
+  // ---------------------------------------------- mixed-scheme matrix
   Histogram original =
       bench::MakeSynthetic(0.6, 42, kSuspectTokens, kSuspectSamples);
-  auto [keys, copies] = MakeEscrow(original);
-  std::vector<Histogram> suspects = MakeSuspects(copies);
+  auto [keys, copies] =
+      MakeEscrow(original, SchemeFactory::RegisteredNames(), kNumBuyers);
+  std::vector<Histogram> suspects = MakeSuspects(copies, kNumSuspects);
   const size_t cells = suspects.size() * keys.size();
   std::printf("matrix: %zu suspects x %zu keys = %zu detect cells "
               "(histograms: %zu tokens)\n\n",
@@ -116,7 +158,11 @@ int main() {
               "speedup");
   std::printf("%8d  %12.4f  %10.0f  %9s\n", 1, serial_best,
               cells / serial_best, "1.00x");
+  json << "  \"mixed_matrix\": {\"suspects\": " << suspects.size()
+       << ", \"keys\": " << keys.size()
+       << ", \"serial_seconds\": " << serial_best << ", \"rows\": [";
 
+  bool first_row = true;
   for (size_t threads : {2, 4, 8}) {
     BatchDetectOptions opts;
     opts.num_threads = threads;
@@ -128,11 +174,60 @@ int main() {
       results = parallel.Run(suspects, keys, &pool);
     });
     bool identical = results == reference;
+    all_identical = all_identical && identical;
     std::printf("%8zu  %12.4f  %10.0f  %8.2fx  %s\n", threads, best,
                 cells / best, serial_best / best,
                 identical ? "identical to serial" : "MISMATCH");
+    json << (first_row ? "" : ", ") << "{\"threads\": " << threads
+         << ", \"seconds\": " << best << ", \"speedup\": "
+         << serial_best / best << ", \"identical\": "
+         << (identical ? "true" : "false") << "}";
+    first_row = false;
   }
+  json << "]},\n";
 
+  // ------------------------- ISSUE 3 acceptance: 32 x 8 FreqyWM keys,
+  // per-cell key parsing + modulus re-derivation vs the prepared engine.
+  std::printf("\nkey-prepared detection (32 suspects x 8 freqywm keys):\n");
+  auto [fw_keys, fw_copies] =
+      MakeEscrow(original, {"freqywm"}, kAcceptKeys);
+  std::vector<Histogram> fw_suspects =
+      MakeSuspects(fw_copies, kAcceptSuspects);
+  const size_t fw_cells = fw_suspects.size() * fw_keys.size();
+
+  std::vector<std::vector<DetectResult>> fw_reference;
+  double before_best = BestOfReps([&] {
+    fw_reference = UnpreparedSerialMatrix(fw_suspects, fw_keys);
+  });
+  std::printf("%16s  %12.4f  %10.0f  %9s\n", "before (PR 2)", before_best,
+              fw_cells / before_best, "1.00x");
+  json << "  \"freqywm_prepared\": {\"suspects\": " << fw_suspects.size()
+       << ", \"keys\": " << fw_keys.size()
+       << ", \"before_seconds\": " << before_best << ", \"rows\": [";
+
+  double best_speedup = 0.0;
+  first_row = true;
+  for (size_t threads : {1, 2, 4, 8}) {
+    BatchDetectOptions opts;
+    opts.num_threads = threads;
+    BatchDetector engine(opts);
+    std::vector<std::vector<DetectResult>> results;
+    double best = BestOfReps([&] { results = engine.Run(fw_suspects, fw_keys); });
+    bool identical = results == fw_reference;
+    all_identical = all_identical && identical;
+    best_speedup = std::max(best_speedup, before_best / best);
+    std::printf("%9zu thread  %12.4f  %10.0f  %8.2fx  %s\n", threads, best,
+                fw_cells / best, before_best / best,
+                identical ? "identical to before" : "MISMATCH");
+    json << (first_row ? "" : ", ") << "{\"threads\": " << threads
+         << ", \"seconds\": " << best << ", \"speedup_vs_before\": "
+         << before_best / best << ", \"identical\": "
+         << (identical ? "true" : "false") << "}";
+    first_row = false;
+  }
+  json << "], \"best_speedup\": " << best_speedup << "},\n";
+
+  // ------------------------------------------ sharded histogram build
   std::printf("\nsharded histogram build (parallel embed front end):\n");
   Rng rng(7);
   PowerLawSpec spec;
@@ -146,6 +241,9 @@ int main() {
   });
   std::printf("%8s  %12.4f  %10.1f Mrows/s  %9s\n", "serial", build_serial,
               dataset.size() / build_serial / 1e6, "1.00x");
+  json << "  \"sharded_histogram\": {\"rows\": " << dataset.size()
+       << ", \"serial_seconds\": " << build_serial << ", \"parallel\": [";
+  first_row = true;
   for (size_t threads : {2, 4, 8}) {
     ThreadPool pool(threads - 1);
     Histogram sharded;
@@ -154,9 +252,25 @@ int main() {
     });
     bool identical = sharded.entries() == serial_hist.entries() &&
                      sharded.total_count() == serial_hist.total_count();
+    all_identical = all_identical && identical;
     std::printf("%7zut  %12.4f  %10.1f Mrows/s  %8.2fx  %s\n", threads,
                 best, dataset.size() / best / 1e6, build_serial / best,
                 identical ? "identical to serial" : "MISMATCH");
+    json << (first_row ? "" : ", ") << "{\"threads\": " << threads
+         << ", \"seconds\": " << best << ", \"speedup\": "
+         << build_serial / best << ", \"identical\": "
+         << (identical ? "true" : "false") << "}";
+    first_row = false;
+  }
+  json << "]},\n  \"all_identical\": "
+       << (all_identical ? "true" : "false") << "\n}\n";
+
+  bench::WriteJsonFile(bench::JsonOutputPath("BENCH_batch_detect.json"),
+                       json.str());
+  if (!all_identical) {
+    std::printf("\nIDENTITY CHECK FAILED: a parallel or prepared path "
+                "diverged from its serial reference\n");
+    return 1;
   }
   return 0;
 }

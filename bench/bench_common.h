@@ -1,10 +1,15 @@
 #ifndef FREQYWM_BENCH_BENCH_COMMON_H_
 #define FREQYWM_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 
+#include "api/factory.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/watermark.h"
 #include "datagen/power_law.h"
 
@@ -61,11 +66,76 @@ inline double MeanChosenPairs(const Histogram& hist, GenerateOptions options,
   return total / reps;
 }
 
+/// Scheme-API sibling of `MeanChosenPairs`: embedded units averaged over
+/// `reps` seeds through `SchemeFactory`, using the same seed recurrence so
+/// harnesses converted off the free functions keep comparable numbers.
+inline double MeanEmbeddedUnits(const Histogram& hist,
+                                const std::string& scheme_name,
+                                OptionBag options, uint64_t base_seed,
+                                int reps) {
+  double total = 0;
+  uint64_t seed = base_seed;
+  for (int r = 0; r < reps; ++r) {
+    seed = seed * 31 + static_cast<uint64_t>(r) + 1;
+    options.Set("seed", std::to_string(seed));
+    auto scheme = SchemeFactory::Create(scheme_name, options);
+    if (!scheme.ok()) continue;
+    auto outcome = scheme.value()->Embed(hist);
+    if (outcome.ok()) {
+      total += static_cast<double>(outcome.value().report.embedded_units);
+    }
+  }
+  return total / reps;
+}
+
 inline void PrintBanner(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("================================================================\n");
+}
+
+/// Best (minimum) wall clock of `reps` runs of `fn` — the standard timing
+/// rule of the hand-rolled perf harnesses.
+inline double BestOfReps(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// True when the CI perf-smoke job is driving the bench: sizes stay the
+/// same (the identity checks and speedup ratios are the payload) but
+/// repetitions drop to one.
+inline bool PerfSmoke() {
+  const char* env = std::getenv("FREQYWM_PERF_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Where a bench writes its machine-readable BENCH_*.json: the directory
+/// in $FREQYWM_BENCH_JSON_DIR when set, the working directory otherwise.
+inline std::string JsonOutputPath(const std::string& filename) {
+  const char* dir = std::getenv("FREQYWM_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  return std::string(dir) + "/" + filename;
+}
+
+/// Writes `content` to `path`, reporting success on stdout so CI logs show
+/// where the artifact landed.
+inline bool WriteJsonFile(const std::string& path,
+                          const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace freqywm::bench

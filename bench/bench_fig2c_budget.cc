@@ -1,41 +1,43 @@
 // Reproduces Fig. 2c: chosen pairs for greedy and random relative to the
 // optimal, as the budget b grows (alpha = 0.7, z = 1031). Expected shape:
 // with larger budgets the heuristics converge toward the optimal because
-// even optimal selection saturates at the matching size.
+// even optimal selection saturates at the matching size. Runs through the
+// unified `WatermarkScheme` API (`SchemeFactory::Create("freqywm", ...)`),
+// the same configuration surface the CLI exposes.
 //
 // Budget semantics: the exact cosine constraint is never binding at this
 // scale (a full watermark moves a 1M-row histogram's cosine by < 0.01%),
-// so this sweep uses BudgetMode::kAdditiveChurn — the QKP reading of
+// so this sweep uses budget_mode=additive-churn — the QKP reading of
 // §III-B2 where the summed churn of the chosen pairs is capped at b% of
 // the rows. Both modes are reported in EXPERIMENTS.md.
 
 #include "bench_common.h"
 
 namespace fb = freqywm::bench;
-using freqywm::BudgetMode;
-using freqywm::GenerateOptions;
 using freqywm::Histogram;
-using freqywm::SelectionStrategy;
+using freqywm::OptionBag;
 
 int main() {
   fb::PrintBanner("Fig. 2c — heuristics vs optimal as budget b grows",
                   "ICDE'24 FreqyWM Figure 2c (alpha=0.7, z=1031)");
   const double kBudgets[] = {0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
   const int kReps = 3;
+  const char* kStrategies[3] = {"optimal", "greedy", "random"};
 
   Histogram hist = fb::MakeSynthetic(0.7, 42);
   std::printf("%-8s %-10s %-10s %-10s %-14s %-14s\n", "b(%)", "optimal",
               "greedy", "random", "greedy/opt", "random/opt");
   for (double b : kBudgets) {
     double counts[3];
-    const SelectionStrategy strategies[3] = {SelectionStrategy::kOptimal,
-                                             SelectionStrategy::kGreedy,
-                                             SelectionStrategy::kRandom};
     for (int s = 0; s < 3; ++s) {
-      GenerateOptions o =
-          fb::MakeOptions(b, 1031, strategies[s], 3000 + s);
-      o.budget_mode = BudgetMode::kAdditiveChurn;
-      counts[s] = fb::MeanChosenPairs(hist, o, kReps);
+      OptionBag bag;
+      bag.Set("budget", std::to_string(b));
+      bag.Set("z", "1031");
+      bag.Set("strategy", kStrategies[s]);
+      bag.Set("budget_mode", "additive-churn");
+      counts[s] = fb::MeanEmbeddedUnits(hist, "freqywm", bag,
+                                        3000 + static_cast<uint64_t>(s),
+                                        kReps);
     }
     std::printf("%-8.2f %-10.1f %-10.1f %-10.1f %-14.3f %-14.3f\n", b,
                 counts[0], counts[1], counts[2],

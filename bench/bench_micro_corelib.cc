@@ -1,10 +1,31 @@
 // Micro-benchmarks (google-benchmark) for the core library primitives and
 // the Gen/Detect costs behind Table II's timing columns: SHA-256, pair
-// modulus derivation, eligible-pair construction, the three selection
-// strategies, end-to-end generation, and detection.
+// modulus derivation (full re-hash vs midstate reduce), eligible-pair
+// construction (unpruned reference vs the pruned midstate scan), the three
+// selection strategies, end-to-end generation, and detection (uncached
+// reference vs the per-key modulus table).
+//
+// After the google-benchmark run, main() executes the pair-enumeration
+// acceptance harness (ISSUE 3): BuildEligiblePairsReference vs
+// BuildEligiblePairs at 10k tokens, serial and sharded at 2/4/8 threads,
+// with a byte-identity check, and writes the machine-readable
+// BENCH_pair_enum.json perf baseline. Exit status is non-zero iff an
+// identity check fails — never because of timing. The harness costs two
+// full 50M-hash reference scans, so it only runs when FREQYWM_PERF_SMOKE
+// (CI) or FREQYWM_BENCH_JSON_DIR (baseline regeneration) is set — plain
+// google-benchmark invocations stay cheap.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
 #include "core/detect.h"
 #include "core/eligible.h"
 #include "core/select.h"
@@ -12,6 +33,8 @@
 #include "crypto/pair_modulus.h"
 #include "crypto/sha256.h"
 #include "datagen/power_law.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
 
 namespace freqywm {
 namespace {
@@ -55,6 +78,55 @@ void BM_PairModulus(benchmark::State& state) {
 }
 BENCHMARK(BM_PairModulus);
 
+// Before/after counter for the per-pair derivation: the bulk-scan shape
+// (one outer token against many inner digests), full re-hash vs one
+// midstate clone per reduction.
+void BM_PairModulusInnerLoop_Rehash(benchmark::State& state) {
+  WatermarkSecret secret = GenerateSecret(256, 1);
+  PairModulus pm(secret, 1031);
+  std::vector<Sha256::Digest> inner;
+  for (int j = 0; j < 64; ++j) {
+    inner.push_back(pm.InnerDigest("token" + std::to_string(j)));
+  }
+  size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pm.ComputeWithInner("outer-token", inner[j++ % inner.size()]));
+  }
+}
+BENCHMARK(BM_PairModulusInnerLoop_Rehash);
+
+void BM_PairModulusInnerLoop_Midstate(benchmark::State& state) {
+  WatermarkSecret secret = GenerateSecret(256, 1);
+  PairModulus pm(secret, 1031);
+  std::vector<Sha256::Digest> inner;
+  for (int j = 0; j < 64; ++j) {
+    inner.push_back(pm.InnerDigest("token" + std::to_string(j)));
+  }
+  PairModulus::OuterState outer = pm.OuterFor("outer-token");
+  size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(outer.Reduce(inner[j++ % inner.size()]));
+  }
+}
+BENCHMARK(BM_PairModulusInnerLoop_Midstate);
+
+// "Before": the unpruned one-hash-per-pair scan shipped by PR 2.
+void BM_BuildEligiblePairs_Reference(benchmark::State& state) {
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  Histogram hist = MakeHist(tokens, tokens * 1000, 0.7, 2);
+  WatermarkSecret secret = GenerateSecret(256, 3);
+  PairModulus pm(secret, 131);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildEligiblePairsReference(
+        hist, pm, EligibilityRule::kPaper, 2, 1));
+  }
+  state.SetComplexityN(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_BuildEligiblePairs_Reference)->Arg(100)->Arg(300)->Arg(1000)
+    ->Complexity(benchmark::oNSquared);
+
+// "After": midstate reuse + dead-token / freq-diff pruning (serial).
 void BM_BuildEligiblePairs(benchmark::State& state) {
   const size_t tokens = static_cast<size_t>(state.range(0));
   Histogram hist = MakeHist(tokens, tokens * 1000, 0.7, 2);
@@ -62,7 +134,7 @@ void BM_BuildEligiblePairs(benchmark::State& state) {
   PairModulus pm(secret, 131);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildEligiblePairs(hist, pm, EligibilityRule::kPaper));
+        BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2, 1));
   }
   state.SetComplexityN(static_cast<int64_t>(tokens));
 }
@@ -102,26 +174,75 @@ void BM_WmGenerate(benchmark::State& state) {
 BENCHMARK(BM_WmGenerate)->Arg(100)->Arg(500)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_WmDetect(benchmark::State& state) {
+// Detection fixture shared by the three BM_WmDetect counters.
+struct DetectFixture {
+  Histogram watermarked;
+  WatermarkSecrets secrets;
+  DetectOptions options;
+  bool ok = false;
+};
+
+DetectFixture MakeDetectFixture() {
+  DetectFixture f;
   Histogram hist = MakeHist(1000, 1'000'000, 0.7, 9);
   GenerateOptions o;
   o.budget_percent = 2.0;
   o.modulus_bound = 131;
   o.seed = 10;
   auto r = WatermarkGenerator(o).GenerateFromHistogram(hist);
-  if (!r.ok()) {
+  if (!r.ok()) return f;
+  f.watermarked = r.value().watermarked;
+  f.secrets = r.value().report.secrets;
+  f.options.pair_threshold = 0;
+  f.options.min_pairs = 1;
+  f.ok = true;
+  return f;
+}
+
+// "Before": two hashes per stored pair, every call.
+void BM_WmDetect_Reference(benchmark::State& state) {
+  DetectFixture f = MakeDetectFixture();
+  if (!f.ok) {
     state.SkipWithError("generation failed");
     return;
   }
-  DetectOptions d;
-  d.pair_threshold = 0;
-  d.min_pairs = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        DetectWatermark(r.value().watermarked, r.value().report.secrets, d));
+        DetectWatermarkReference(f.watermarked, f.secrets, f.options));
+  }
+}
+BENCHMARK(BM_WmDetect_Reference);
+
+// "After", serial shape: the table is rebuilt per call (inner digests and
+// outer midstates still dedupe across pairs).
+void BM_WmDetect(benchmark::State& state) {
+  DetectFixture f = MakeDetectFixture();
+  if (!f.ok) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DetectWatermark(f.watermarked, f.secrets, f.options));
   }
 }
 BENCHMARK(BM_WmDetect);
+
+// "After", batch shape: one PairModulusTable reused across calls — the
+// per-suspect cost of the batch engine's hot loop (zero hashes).
+void BM_WmDetect_TableReuse(benchmark::State& state) {
+  DetectFixture f = MakeDetectFixture();
+  if (!f.ok) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  PairModulusTable table = PairModulusTable::Build(f.secrets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DetectWatermark(f.watermarked, table, f.options));
+  }
+}
+BENCHMARK(BM_WmDetect_TableReuse);
 
 void BM_HistogramFromDataset(benchmark::State& state) {
   Rng rng(11);
@@ -139,7 +260,119 @@ void BM_HistogramFromDataset(benchmark::State& state) {
 BENCHMARK(BM_HistogramFromDataset)->Arg(100000)->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------------------------
+// Pair-enumeration acceptance harness (runs after the google-benchmark
+// pass): before/after wall clock at 10k tokens + identity checks +
+// BENCH_pair_enum.json.
+
+int RunPairEnumAcceptance() {
+  if (!bench::PerfSmoke() &&
+      std::getenv("FREQYWM_BENCH_JSON_DIR") == nullptr) {
+    std::printf("\n(pair-enumeration acceptance harness skipped; set "
+                "FREQYWM_PERF_SMOKE=1 or FREQYWM_BENCH_JSON_DIR to run "
+                "it)\n");
+    return 0;
+  }
+  struct Workload {
+    const char* name;
+    size_t tokens;
+    size_t samples;
+  };
+  // eyewnder_like mirrors the paper's URL histogram shape (~100 samples
+  // per token: long tie-heavy tail, where dead-token pruning bites);
+  // dense_tail is the harder case for pruning (~1000 samples per token).
+  const Workload workloads[] = {
+      {"eyewnder_like_10k", 10000, 1'000'000},
+      {"dense_tail_10k", 10000, 10'000'000},
+  };
+  const int reps = bench::PerfSmoke() ? 1 : 2;
+  const uint64_t z = 1031;
+  bool all_identical = true;
+
+  std::printf("\npair enumeration at 10k tokens: reference (PR 2) vs "
+              "midstate+pruning (z=%llu, kPaper, min_pair_cost=1)\n",
+              static_cast<unsigned long long>(z));
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"pair_enum\",\n  \"z\": " << z
+       << ",\n  \"reps\": " << reps << ",\n  \"workloads\": [\n";
+
+  for (size_t w = 0; w < 2; ++w) {
+    const Workload& load = workloads[w];
+    Histogram hist = MakeHist(load.tokens, load.samples, 0.7, 21);
+    WatermarkSecret secret = GenerateSecret(256, 22);
+    PairModulus pm(secret, z);
+
+    std::vector<EligiblePair> reference;
+    double ref_seconds = bench::BestOfReps(reps, [&] {
+      reference = BuildEligiblePairsReference(hist, pm,
+                                              EligibilityRule::kPaper, 2, 1);
+    });
+    std::vector<EligiblePair> optimized;
+    double serial_seconds = bench::BestOfReps(reps, [&] {
+      optimized =
+          BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2, 1);
+    });
+    bool serial_identical = optimized == reference;
+    all_identical = all_identical && serial_identical;
+
+    std::printf("\n[%s] tokens=%zu samples=%zu |Le|=%zu\n", load.name,
+                load.tokens, load.samples, reference.size());
+    std::printf("%16s  %10.3fs  %8s\n", "reference", ref_seconds, "1.00x");
+    std::printf("%16s  %10.3fs  %7.2fx  %s\n", "serial", serial_seconds,
+                ref_seconds / serial_seconds,
+                serial_identical ? "identical" : "MISMATCH");
+
+    json << "    {\"name\": \"" << load.name << "\", \"tokens\": "
+         << load.tokens << ", \"samples\": " << load.samples
+         << ", \"eligible_pairs\": " << reference.size()
+         << ",\n     \"reference_seconds\": " << ref_seconds
+         << ", \"serial_seconds\": " << serial_seconds
+         << ", \"serial_speedup\": " << ref_seconds / serial_seconds
+         << ", \"serial_identical\": "
+         << (serial_identical ? "true" : "false")
+         << ",\n     \"parallel\": [";
+
+    bool first_row = true;
+    for (size_t threads : {2, 4, 8}) {
+      ThreadPool pool(threads - 1);
+      ExecContext exec{&pool};
+      std::vector<EligiblePair> parallel;
+      double seconds = bench::BestOfReps(reps, [&] {
+        parallel = BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2,
+                                      1, exec);
+      });
+      bool identical = parallel == reference;
+      all_identical = all_identical && identical;
+      std::printf("%9zu thread  %10.3fs  %7.2fx  %s\n", threads, seconds,
+                  ref_seconds / seconds,
+                  identical ? "identical" : "MISMATCH");
+      json << (first_row ? "" : ", ") << "{\"threads\": " << threads
+           << ", \"seconds\": " << seconds << ", \"speedup_vs_reference\": "
+           << ref_seconds / seconds << ", \"identical\": "
+           << (identical ? "true" : "false") << "}";
+      first_row = false;
+    }
+    json << "]}" << (w + 1 < 2 ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"all_identical\": "
+       << (all_identical ? "true" : "false") << "\n}\n";
+  bench::WriteJsonFile(bench::JsonOutputPath("BENCH_pair_enum.json"),
+                       json.str());
+  if (!all_identical) {
+    std::printf("\nIDENTITY CHECK FAILED: optimized scan diverged from the "
+                "reference\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace freqywm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return freqywm::RunPairEnumAcceptance();
+}

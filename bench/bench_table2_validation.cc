@@ -1,6 +1,10 @@
 // Reproduces Table II: validation on (stand-ins for) the three real-world
 // datasets — Chicago Taxi, eyeWnder, Adult — reporting distinct tokens,
-// |Le|, chosen pairs per strategy, and generation/detection wall-clock.
+// |Le|, chosen pairs per strategy, and generation/detection wall-clock,
+// all through the unified `WatermarkScheme` API (embed via
+// `SchemeFactory::Create("freqywm", ...)`, detect via the scheme's
+// key-based `Detect` — the same call path the CLI and the batch engine
+// use, so the timed costs include key handling).
 //
 // Scale note: the real Chicago Taxi file is 9.68 GB with 6,573 taxis and
 // the eyeWnder crawl has 11,479 URLs; this harness defaults to reduced
@@ -12,9 +16,10 @@
 
 #include <cstdlib>
 
+#include "api/factory.h"
+#include "api/scheme.h"
 #include "bench_common.h"
 #include "common/stopwatch.h"
-#include "core/detect.h"
 #include "datagen/real_world.h"
 
 namespace fb = freqywm::bench;
@@ -28,33 +33,37 @@ struct Row {
   Histogram hist;
 };
 
+const char* kStrategies[3] = {"optimal", "greedy", "random"};
+
 void RunRow(const Row& row) {
   const int kReps = 3;
   double chosen[3] = {0, 0, 0};
   double gen_seconds = 0;
   double detect_seconds = 0;
   size_t eligible = 0;
-  const SelectionStrategy strategies[3] = {SelectionStrategy::kOptimal,
-                                           SelectionStrategy::kGreedy,
-                                           SelectionStrategy::kRandom};
   for (int s = 0; s < 3; ++s) {
     for (int rep = 0; rep < kReps; ++rep) {
-      GenerateOptions o = fb::MakeOptions(
-          2.0, 131, strategies[s], 4000 + static_cast<uint64_t>(rep));
+      OptionBag bag;
+      bag.Set("budget", "2.0");
+      bag.Set("z", "131");
+      bag.Set("strategy", kStrategies[s]);
+      bag.Set("seed", std::to_string(4000 + rep));
+      auto scheme = SchemeFactory::Create("freqywm", bag);
+      if (!scheme.ok()) continue;
       Stopwatch watch;
-      auto r = WatermarkGenerator(o).GenerateFromHistogram(row.hist);
+      auto outcome = scheme.value()->Embed(row.hist);
       double elapsed = watch.ElapsedSeconds();
-      if (!r.ok()) continue;
-      chosen[s] += static_cast<double>(r.value().report.chosen_pairs);
-      eligible = r.value().report.eligible_pairs;
+      if (!outcome.ok()) continue;
+      chosen[s] += static_cast<double>(outcome.value().report.embedded_units);
+      eligible = outcome.value().report.eligible_units;
       if (s == 0) {
         gen_seconds += elapsed;
         DetectOptions d;
         d.pair_threshold = 0;
-        d.min_pairs = r.value().report.chosen_pairs;
+        d.min_pairs = outcome.value().report.embedded_units;
         Stopwatch dwatch;
-        DetectResult dr = DetectWatermark(r.value().watermarked,
-                                          r.value().report.secrets, d);
+        DetectResult dr = scheme.value()->Detect(
+            outcome.value().watermarked, outcome.value().key, d);
         detect_seconds += dwatch.ElapsedSeconds();
         if (!dr.accepted) std::printf("WARNING: detection failed!\n");
       }

@@ -1,6 +1,7 @@
 #include "api/freqywm_scheme.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "core/detect.h"
@@ -35,6 +36,22 @@ Result<WatermarkSecrets> ParseKey(const SchemeKey& key) {
   return WatermarkSecrets::Deserialize(key.payload);
 }
 
+/// Prepared state: the key parsed and its per-pair moduli derived once.
+/// An unparsable key leaves the table invalid, so the prepared path
+/// rejects exactly like the parse-per-call path.
+class FreqyWmPreparedKey : public PreparedKey {
+ public:
+  explicit FreqyWmPreparedKey(const SchemeKey& key) : PreparedKey(key) {
+    auto secrets = ParseKey(key);
+    if (secrets.ok()) table_ = PairModulusTable::Build(secrets.value());
+  }
+
+  const PairModulusTable& table() const { return table_; }
+
+ private:
+  PairModulusTable table_;
+};
+
 }  // namespace
 
 FreqyWmScheme::FreqyWmScheme(GenerateOptions options,
@@ -61,10 +78,11 @@ Result<DatasetEmbedOutcome> FreqyWmScheme::EmbedDataset(
 
 Result<DatasetEmbedOutcome> FreqyWmScheme::EmbedDataset(
     const Dataset& original, const ExecContext& exec) const {
-  FREQYWM_ASSIGN_OR_RETURN(
-      DatasetGenerateResult generated,
-      WatermarkGenerator(options_).Generate(original,
-                                            exec.BuildHistogram(original)));
+  // Exec-aware end to end: sharded histogram build AND sharded
+  // eligible-pair scan (byte-identical to serial at any thread count).
+  FREQYWM_ASSIGN_OR_RETURN(DatasetGenerateResult generated,
+                           WatermarkGenerator(options_).Generate(original,
+                                                                 exec));
   DatasetEmbedOutcome out;
   out.key = MakeKey(generated.report.secrets);
   out.report = MakeReport(generated.report);
@@ -78,6 +96,21 @@ DetectResult FreqyWmScheme::Detect(const Histogram& suspect,
   auto secrets = ParseKey(key);
   if (!secrets.ok()) return DetectResult{};
   return DetectWatermark(suspect, secrets.value(), options);
+}
+
+std::unique_ptr<PreparedKey> FreqyWmScheme::Prepare(
+    const SchemeKey& key) const {
+  return std::make_unique<FreqyWmPreparedKey>(key);
+}
+
+DetectResult FreqyWmScheme::Detect(const Histogram& suspect,
+                                   const PreparedKey& prepared,
+                                   const DetectOptions& options) const {
+  const auto* own = dynamic_cast<const FreqyWmPreparedKey*>(&prepared);
+  if (own == nullptr) return Detect(suspect, prepared.key(), options);
+  // An invalid table (unparsable/foreign key) rejects inside
+  // DetectWatermark, matching the parse-per-call path bit for bit.
+  return DetectWatermark(suspect, own->table(), options);
 }
 
 DetectOptions FreqyWmScheme::RecommendedDetectOptions(

@@ -28,6 +28,11 @@ class FreqyWmScheme : public WatermarkScheme {
       const Dataset& original, const ExecContext& exec) const override;
   DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
                       const DetectOptions& options) const override;
+  /// Parses the key and derives its `PairModulusTable` once; the prepared
+  /// `Detect` below then runs hash-free (count gather + residue checks).
+  std::unique_ptr<PreparedKey> Prepare(const SchemeKey& key) const override;
+  DetectResult Detect(const Histogram& suspect, const PreparedKey& prepared,
+                      const DetectOptions& options) const override;
   DetectOptions RecommendedDetectOptions(const SchemeKey& key) const override;
   bool SupportsRefresh() const override { return true; }
   Result<EmbedOutcome> Refresh(const Histogram& drifted,

@@ -87,6 +87,17 @@ DetectResult WatermarkScheme::Detect(const Dataset& suspect,
   return Detect(Histogram::FromDataset(suspect), key, options);
 }
 
+std::unique_ptr<PreparedKey> WatermarkScheme::Prepare(
+    const SchemeKey& key) const {
+  return std::make_unique<PreparedKey>(key);
+}
+
+DetectResult WatermarkScheme::Detect(const Histogram& suspect,
+                                     const PreparedKey& prepared,
+                                     const DetectOptions& options) const {
+  return Detect(suspect, prepared.key(), options);
+}
+
 DetectOptions WatermarkScheme::RecommendedDetectOptions(
     const SchemeKey& /*key*/) const {
   return DetectOptions{};

@@ -2,7 +2,9 @@
 #define FREQYWM_API_SCHEME_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/result.h"
 #include "core/detect.h"
@@ -73,6 +75,26 @@ struct DatasetEmbedOutcome {
   EmbedReport report;
 };
 
+/// Opaque per-key detection state returned by `WatermarkScheme::Prepare`:
+/// everything about a key that detection reuses across suspects (parsed
+/// payload, derived moduli, ...), paid once per key instead of once per
+/// `Detect` call. The base class simply carries the key; schemes with real
+/// key-side state subclass it (DESIGN.md §8).
+///
+/// Instances are immutable after `Prepare` and safe to share across
+/// threads, matching the `Detect`-is-stateless contract.
+class PreparedKey {
+ public:
+  explicit PreparedKey(SchemeKey key) : key_(std::move(key)) {}
+  virtual ~PreparedKey() = default;
+
+  /// The key this state was derived from.
+  const SchemeKey& key() const { return key_; }
+
+ private:
+  SchemeKey key_;
+};
+
 /// The unified lifecycle interface every watermarking scheme implements
 /// (tentpole of the API redesign; DESIGN.md §6). The paper's evaluation is
 /// a schemes x attacks x datasets matrix — this interface makes each sweep
@@ -122,6 +144,27 @@ class WatermarkScheme {
   /// Convenience overload building the histogram from a raw dataset.
   DetectResult Detect(const Dataset& suspect, const SchemeKey& key,
                       const DetectOptions& options) const;
+
+  /// Derives the reusable per-key detection state for `key`. The batch
+  /// engine prepares each key once and then runs the whole suspect column
+  /// against the prepared state, so key parsing and keyed-hash derivation
+  /// are paid |keys| times instead of |suspects| × |keys| times.
+  ///
+  /// Contract: `Detect(suspect, *Prepare(key), options)` is byte-identical
+  /// to `Detect(suspect, key, options)` for every input, malformed keys
+  /// included (enforced per scheme by `tests/exec/prepared_detect_test.cc`).
+  /// The default wraps the key unparsed; schemes overriding this must
+  /// override the prepared `Detect` overload too. Never returns null.
+  virtual std::unique_ptr<PreparedKey> Prepare(const SchemeKey& key) const;
+
+  /// Detection against a prepared key. The default delegates to
+  /// `Detect(suspect, prepared.key(), options)`; schemes with real
+  /// key-side state override it alongside `Prepare`. A `prepared` object
+  /// from a different scheme degrades to the key-parsing path (which
+  /// rejects a foreign key), never crashes.
+  virtual DetectResult Detect(const Histogram& suspect,
+                              const PreparedKey& prepared,
+                              const DetectOptions& options) const;
 
   /// Detection settings that make `Detect` a sound accept/reject oracle for
   /// this scheme's `key` on un-attacked data (used by the conformance test,

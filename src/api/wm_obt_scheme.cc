@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -12,7 +13,26 @@
 namespace freqywm {
 
 namespace {
+
 constexpr char kKeyMagic[] = "wm-obt-key v1";
+
+/// Prepared state: the key payload parsed once. An unparsable or foreign
+/// key leaves `valid` false, so the prepared path rejects exactly like the
+/// parse-per-call path.
+class WmObtPreparedKey : public PreparedKey {
+ public:
+  explicit WmObtPreparedKey(const SchemeKey& key) : PreparedKey(key) {
+    if (key.scheme != "wm-obt") return;
+    auto parsed = WmObtScheme::ParseKeyPayload(key.payload);
+    if (!parsed.ok()) return;
+    options = std::move(parsed).value();
+    valid = true;
+  }
+
+  WmObtOptions options;
+  bool valid = false;
+};
+
 }  // namespace
 
 WmObtScheme::WmObtScheme(WmObtOptions options) : options_(options) {}
@@ -120,6 +140,19 @@ DetectResult WmObtScheme::Detect(const Histogram& suspect,
   auto parsed = ParseKeyPayload(key.payload);
   if (!parsed.ok()) return DetectResult{};
   return DetectWmObt(suspect, parsed.value(), options);
+}
+
+std::unique_ptr<PreparedKey> WmObtScheme::Prepare(const SchemeKey& key) const {
+  return std::make_unique<WmObtPreparedKey>(key);
+}
+
+DetectResult WmObtScheme::Detect(const Histogram& suspect,
+                                 const PreparedKey& prepared,
+                                 const DetectOptions& options) const {
+  const auto* own = dynamic_cast<const WmObtPreparedKey*>(&prepared);
+  if (own == nullptr) return Detect(suspect, prepared.key(), options);
+  if (!own->valid) return DetectResult{};
+  return DetectWmObt(suspect, own->options, options);
 }
 
 DetectOptions WmObtScheme::RecommendedDetectOptions(

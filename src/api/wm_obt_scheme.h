@@ -23,6 +23,10 @@ class WmObtScheme : public WatermarkScheme {
   Result<EmbedOutcome> Embed(const Histogram& original) const override;
   DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
                       const DetectOptions& options) const override;
+  /// Parses the key payload once; the prepared `Detect` skips re-parsing.
+  std::unique_ptr<PreparedKey> Prepare(const SchemeKey& key) const override;
+  DetectResult Detect(const Histogram& suspect, const PreparedKey& prepared,
+                      const DetectOptions& options) const override;
   DetectOptions RecommendedDetectOptions(const SchemeKey& key) const override;
 
   const WmObtOptions& options() const { return options_; }

@@ -1,6 +1,7 @@
 #include "api/wm_rvs_scheme.h"
 
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -10,7 +11,26 @@
 namespace freqywm {
 
 namespace {
+
 constexpr char kKeyMagic[] = "wm-rvs-key v1";
+
+/// Prepared state: the key payload parsed once. An unparsable or foreign
+/// key leaves `valid` false, so the prepared path rejects exactly like the
+/// parse-per-call path.
+class WmRvsPreparedKey : public PreparedKey {
+ public:
+  explicit WmRvsPreparedKey(const SchemeKey& key) : PreparedKey(key) {
+    if (key.scheme != "wm-rvs") return;
+    auto parsed = WmRvsScheme::ParseKeyPayload(key.payload);
+    if (!parsed.ok()) return;
+    options = std::move(parsed).value();
+    valid = true;
+  }
+
+  WmRvsOptions options;
+  bool valid = false;
+};
+
 }  // namespace
 
 WmRvsScheme::WmRvsScheme(WmRvsOptions options) : options_(options) {}
@@ -79,6 +99,19 @@ DetectResult WmRvsScheme::Detect(const Histogram& suspect,
   auto parsed = ParseKeyPayload(key.payload);
   if (!parsed.ok()) return DetectResult{};
   return DetectWmRvs(suspect, parsed.value(), options);
+}
+
+std::unique_ptr<PreparedKey> WmRvsScheme::Prepare(const SchemeKey& key) const {
+  return std::make_unique<WmRvsPreparedKey>(key);
+}
+
+DetectResult WmRvsScheme::Detect(const Histogram& suspect,
+                                 const PreparedKey& prepared,
+                                 const DetectOptions& options) const {
+  const auto* own = dynamic_cast<const WmRvsPreparedKey*>(&prepared);
+  if (own == nullptr) return Detect(suspect, prepared.key(), options);
+  if (!own->valid) return DetectResult{};
+  return DetectWmRvs(suspect, own->options, options);
 }
 
 DetectOptions WmRvsScheme::RecommendedDetectOptions(

@@ -2,14 +2,119 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "crypto/pair_modulus.h"
 
 namespace freqywm {
 
+PairModulusTable PairModulusTable::Build(const WatermarkSecrets& secrets) {
+  PairModulusTable table;
+  if (secrets.z < 2 || secrets.pairs.empty()) return table;
+
+  PairModulus modulus(secrets.r, secrets.z);
+
+  // Intern tokens so every distinct token derives its crypto state once:
+  // an inner digest when it appears as token_j, an outer-hash midstate
+  // when it appears as token_i. Honest pair lists are token-disjoint, but
+  // forged/refreshed/multi-watermark keys repeat tokens freely.
+  std::unordered_map<Token, uint32_t> index;
+  auto intern = [&](const Token& token) -> uint32_t {
+    auto [it, inserted] =
+        index.emplace(token, static_cast<uint32_t>(table.tokens_.size()));
+    if (inserted) table.tokens_.push_back(token);
+    return it->second;
+  };
+
+  std::vector<std::optional<Sha256::Digest>> inner;
+  std::vector<std::optional<PairModulus::OuterState>> outer;
+  table.pairs_.reserve(secrets.pairs.size());
+  for (const SecretPair& pair : secrets.pairs) {
+    const uint32_t i = intern(pair.token_i);
+    const uint32_t j = intern(pair.token_j);
+    if (table.tokens_.size() > inner.size()) {
+      inner.resize(table.tokens_.size());
+      outer.resize(table.tokens_.size());
+    }
+    if (!outer[i]) outer[i] = modulus.OuterFor(table.tokens_[i]);
+    if (!inner[j]) inner[j] = modulus.InnerDigest(table.tokens_[j]);
+    table.pairs_.push_back(PairEntry{i, j, outer[i]->Reduce(*inner[j])});
+  }
+  table.valid_ = true;
+  return table;
+}
+
+DetectResult DetectWatermark(const Histogram& suspect,
+                             const PairModulusTable& table,
+                             const DetectOptions& options) {
+  DetectResult out;
+  if (!table.valid()) return out;
+
+  // Gather each distinct token's suspect-side count once per call; the
+  // pair loop below is then pure arithmetic over the cached counts and
+  // the table's precomputed moduli.
+  const std::vector<Token>& tokens = table.tokens();
+  std::vector<std::optional<uint64_t>> counts(tokens.size());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    counts[t] = suspect.CountOf(tokens[t]);
+  }
+
+  for (const PairModulusTable::PairEntry& pair : table.pairs()) {
+    const auto& ci = counts[pair.token_i];
+    const auto& cj = counts[pair.token_j];
+    if (!ci || !cj) continue;
+    ++out.pairs_found;
+
+    double fi = static_cast<double>(*ci);
+    double fj = static_cast<double>(*cj);
+    if (options.rescale_factor > 0.0) {
+      fi = std::llround(fi * options.rescale_factor);
+      fj = std::llround(fj * options.rescale_factor);
+    }
+
+    const uint64_t s = pair.s;
+    if (s < 2) continue;  // cannot happen for honestly generated pairs
+
+    // The difference may be negative if an attack flipped the pair's
+    // order; modular arithmetic on the absolute difference is equivalent
+    // under the symmetric option and the honest convention otherwise.
+    int64_t diff = static_cast<int64_t>(fi) - static_cast<int64_t>(fj);
+    uint64_t residue =
+        static_cast<uint64_t>(((diff % static_cast<int64_t>(s)) +
+                               static_cast<int64_t>(s)) %
+                              static_cast<int64_t>(s));
+
+    bool pass = residue <= options.pair_threshold;
+    if (!pass && options.symmetric_residue) {
+      pass = (s - residue) <= options.pair_threshold;
+    }
+    if (pass) ++out.pairs_verified;
+  }
+
+  out.verified_fraction =
+      static_cast<double>(out.pairs_verified) /
+      static_cast<double>(table.num_pairs());
+  out.accepted = out.pairs_verified >= options.min_pairs;
+  return out;
+}
+
 DetectResult DetectWatermark(const Histogram& suspect,
                              const WatermarkSecrets& secrets,
                              const DetectOptions& options) {
+  return DetectWatermark(suspect, PairModulusTable::Build(secrets), options);
+}
+
+DetectResult DetectWatermark(const Dataset& suspect,
+                             const WatermarkSecrets& secrets,
+                             const DetectOptions& options) {
+  return DetectWatermark(Histogram::FromDataset(suspect), secrets, options);
+}
+
+DetectResult DetectWatermarkReference(const Histogram& suspect,
+                                      const WatermarkSecrets& secrets,
+                                      const DetectOptions& options) {
   DetectResult out;
   if (secrets.z < 2 || secrets.pairs.empty()) return out;
 
@@ -31,9 +136,6 @@ DetectResult DetectWatermark(const Histogram& suspect,
     uint64_t s = modulus.Compute(pair.token_i, pair.token_j);
     if (s < 2) continue;  // cannot happen for honestly generated pairs
 
-    // The difference may be negative if an attack flipped the pair's
-    // order; modular arithmetic on the absolute difference is equivalent
-    // under the symmetric option and the honest convention otherwise.
     int64_t diff = static_cast<int64_t>(fi) - static_cast<int64_t>(fj);
     uint64_t residue =
         static_cast<uint64_t>(((diff % static_cast<int64_t>(s)) +
@@ -52,12 +154,6 @@ DetectResult DetectWatermark(const Histogram& suspect,
       static_cast<double>(secrets.pairs.size());
   out.accepted = out.pairs_verified >= options.min_pairs;
   return out;
-}
-
-DetectResult DetectWatermark(const Dataset& suspect,
-                             const WatermarkSecrets& secrets,
-                             const DetectOptions& options) {
-  return DetectWatermark(Histogram::FromDataset(suspect), secrets, options);
 }
 
 }  // namespace freqywm

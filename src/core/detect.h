@@ -35,24 +35,85 @@ struct DetectResult {
   }
 };
 
+/// Key-side detection state derived once per key and reused across any
+/// number of suspects (DESIGN.md §8): every stored pair's modulus
+/// `s_ij = H(tk_i || H(R || tk_j)) mod z`, plus the key's distinct-token
+/// list so detection gathers each token's suspect-side count exactly once
+/// even when a token appears in many stored pairs.
+///
+/// The derivation reuses crypto midstates: one inner digest per distinct
+/// `token_j`, one outer-hash midstate per distinct `token_i`, one cloned
+/// finish per pair. The table depends only on the key (never on a
+/// suspect), is immutable after `Build`, and is safe to share across
+/// threads — `BatchDetector` builds one per key so the |suspects| × |keys|
+/// matrix derives each modulus exactly once instead of once per cell.
+class PairModulusTable {
+ public:
+  /// One stored pair: indices into `tokens()` plus the derived modulus.
+  struct PairEntry {
+    uint32_t token_i = 0;
+    uint32_t token_j = 0;
+    uint64_t s = 0;
+  };
+
+  /// Empty, invalid table (detection against it rejects, matching
+  /// `DetectWatermark` on malformed secrets).
+  PairModulusTable() = default;
+
+  /// Derives the table from `secrets`. Invalid secrets (`z < 2` or no
+  /// pairs) yield an invalid table.
+  static PairModulusTable Build(const WatermarkSecrets& secrets);
+
+  bool valid() const { return valid_; }
+  /// |Lwm| — the denominator of `verified_fraction`.
+  size_t num_pairs() const { return pairs_.size(); }
+  /// Distinct tokens appearing in any stored pair, in first-seen order.
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<PairEntry>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<Token> tokens_;
+  std::vector<PairEntry> pairs_;
+  bool valid_ = false;
+};
+
 /// Runs watermark detection on a suspect histogram.
 ///
-/// For each stored pair present in the histogram it re-derives
+/// For each stored pair present in the histogram it derives
 /// `s_ij = H(tk_i || H(R || tk_j)) mod z` and accepts the pair when
 /// `(f_i - f_j) mod s_ij <= t` (one-sided, as in the paper) or additionally
 /// when the residue is within `t` of `s_ij` (symmetric option). The dataset
 /// is declared watermarked when at least `k` pairs verify.
 ///
 /// The suspect histogram does NOT need to be sorted — only counts are read.
-/// Runs in O(|Lwm|) hash evaluations (linear, §I "verify very fast").
+/// Runs in O(|Lwm|) hash evaluations (linear, §I "verify very fast");
+/// internally builds a `PairModulusTable`, so repeated tokens cost one
+/// inner digest instead of one per stored pair.
 DetectResult DetectWatermark(const Histogram& suspect,
                              const WatermarkSecrets& secrets,
+                             const DetectOptions& options);
+
+/// Table-backed detection: the hot path of the batch engine. Byte-identical
+/// to `DetectWatermark(suspect, secrets, options)` when `table` was built
+/// from `secrets` (enforced per scheme by
+/// `tests/exec/prepared_detect_test.cc`).
+DetectResult DetectWatermark(const Histogram& suspect,
+                             const PairModulusTable& table,
                              const DetectOptions& options);
 
 /// Convenience overload building the histogram from a raw dataset.
 DetectResult DetectWatermark(const Dataset& suspect,
                              const WatermarkSecrets& secrets,
                              const DetectOptions& options);
+
+/// The pre-table reference implementation (PR 2 state): one full
+/// `PairModulus::Compute` — two hashes — per stored pair, no caching of
+/// any kind. Kept as the identity oracle for the golden tests and as the
+/// "before" side of the perf counters in the benches; output is
+/// byte-identical to `DetectWatermark`.
+DetectResult DetectWatermarkReference(const Histogram& suspect,
+                                      const WatermarkSecrets& secrets,
+                                      const DetectOptions& options);
 
 }  // namespace freqywm
 

@@ -32,6 +32,11 @@ Status WatermarkGenerator::ValidateOptions() const {
 
 Result<HistogramGenerateResult> WatermarkGenerator::GenerateFromHistogram(
     const Histogram& original) const {
+  return GenerateFromHistogram(original, ExecContext{});
+}
+
+Result<HistogramGenerateResult> WatermarkGenerator::GenerateFromHistogram(
+    const Histogram& original, const ExecContext& exec) const {
   FREQYWM_RETURN_NOT_OK(ValidateOptions());
   if (original.num_tokens() < 2) {
     return Status::InvalidArgument(
@@ -49,7 +54,7 @@ Result<HistogramGenerateResult> WatermarkGenerator::GenerateFromHistogram(
   // Steps 3-4: eligible pairs, then optimal/heuristic selection.
   std::vector<EligiblePair> eligible =
       BuildEligiblePairs(original, modulus, options_.eligibility,
-                         options_.min_modulus, options_.min_pair_cost);
+                         options_.min_modulus, options_.min_pair_cost, exec);
 
   Rng rng(options_.seed == 0 ? DigestPrefixU64(Sha256::Hash(
                                    std::string(r.r.begin(), r.r.end())))
@@ -90,9 +95,20 @@ Result<DatasetGenerateResult> WatermarkGenerator::Generate(
 }
 
 Result<DatasetGenerateResult> WatermarkGenerator::Generate(
+    const Dataset& original, const ExecContext& exec) const {
+  return Generate(original, exec.BuildHistogram(original), exec);
+}
+
+Result<DatasetGenerateResult> WatermarkGenerator::Generate(
     const Dataset& original, const Histogram& hist) const {
+  return Generate(original, hist, ExecContext{});
+}
+
+Result<DatasetGenerateResult> WatermarkGenerator::Generate(
+    const Dataset& original, const Histogram& hist,
+    const ExecContext& exec) const {
   FREQYWM_ASSIGN_OR_RETURN(HistogramGenerateResult hist_result,
-                           GenerateFromHistogram(hist));
+                           GenerateFromHistogram(hist, exec));
   Rng rng(options_.seed == 0
               ? DigestPrefixU64(Sha256::Hash(
                     hist_result.report.secrets.r.ToHex()))

@@ -11,6 +11,7 @@
 #include "core/secrets.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
+#include "exec/exec_context.h"
 
 namespace freqywm {
 
@@ -64,14 +65,28 @@ class WatermarkGenerator {
   explicit WatermarkGenerator(GenerateOptions options);
 
   /// Watermarks a frequency histogram. Fails with:
-  ///  * `InvalidArgument` for malformed options or an unsorted histogram,
+  ///  * `InvalidArgument` for malformed options or an unsorted histogram
+  ///    (validated here in every build type — `BuildEligiblePairs` on an
+  ///    unsorted histogram would silently yield garbage pairs),
   ///  * `ResourceExhausted` when no pair fits the budget (e.g. uniform
   ///    frequencies — the paper's inapplicability case).
   Result<HistogramGenerateResult> GenerateFromHistogram(
       const Histogram& original) const;
 
+  /// Exec-aware variant: when `exec` carries a thread pool, the
+  /// eligible-pair scan (the O(n^2) hot path of Algorithm I) is sharded
+  /// across it. Output is byte-identical to the serial overload at any
+  /// thread count (DESIGN.md §8).
+  Result<HistogramGenerateResult> GenerateFromHistogram(
+      const Histogram& original, const ExecContext& exec) const;
+
   /// Watermarks a dataset end-to-end (histogram + data transformation).
   Result<DatasetGenerateResult> Generate(const Dataset& original) const;
+
+  /// Exec-aware end-to-end variant: histogram build AND eligible-pair scan
+  /// run through `exec`. Byte-identical to the serial overload.
+  Result<DatasetGenerateResult> Generate(const Dataset& original,
+                                         const ExecContext& exec) const;
 
   /// Like `Generate`, but with a caller-prebuilt histogram of `original`
   /// (e.g. the sharded parallel build in `exec/parallel_histogram.h`).
@@ -79,6 +94,11 @@ class WatermarkGenerator {
   /// output is then identical to `Generate(original)`.
   Result<DatasetGenerateResult> Generate(const Dataset& original,
                                          const Histogram& hist) const;
+
+  /// Prebuilt-histogram variant that also shards the eligible-pair scan.
+  Result<DatasetGenerateResult> Generate(const Dataset& original,
+                                         const Histogram& hist,
+                                         const ExecContext& exec) const;
 
   const GenerateOptions& options() const { return options_; }
 

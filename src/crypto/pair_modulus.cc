@@ -32,4 +32,15 @@ uint64_t PairModulus::ComputeWithInner(std::string_view token_i,
   return DigestPrefixU64(outer_digest) % z_;
 }
 
+PairModulus::OuterState::OuterState(std::string_view token_i, uint64_t z)
+    : z_(z) {
+  midstate_.Update(token_i);
+}
+
+uint64_t PairModulus::OuterState::Reduce(const Sha256::Digest& inner_j) const {
+  Sha256 outer = midstate_;  // clone-after-absorb
+  outer.Update(inner_j.data(), inner_j.size());
+  return DigestPrefixU64(outer.Finish()) % z_;
+}
+
 }  // namespace freqywm

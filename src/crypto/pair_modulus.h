@@ -41,6 +41,31 @@ class PairModulus {
   uint64_t ComputeWithInner(std::string_view token_i,
                             const Sha256::Digest& inner_j) const;
 
+  /// Midstate of the outer hash `H(tk_i || ·)` with `tk_i` already
+  /// absorbed. The O(n^2) eligible-pair scan keeps one per outer token:
+  /// each pair then costs a cloned finish over the 32-byte inner digest
+  /// (clone-after-absorb) instead of re-buffering `tk_i` per pair.
+  /// Copyable and immutable after construction; safe to share across
+  /// threads.
+  class OuterState {
+   public:
+    /// `s_ij` for this state's `tk_i` and a precomputed inner digest —
+    /// byte-identical to `ComputeWithInner(tk_i, inner_j)`.
+    uint64_t Reduce(const Sha256::Digest& inner_j) const;
+
+   private:
+    friend class PairModulus;
+    OuterState(std::string_view token_i, uint64_t z);
+
+    Sha256 midstate_;
+    uint64_t z_;
+  };
+
+  /// Builds the outer-hash midstate for `token_i`.
+  OuterState OuterFor(std::string_view token_i) const {
+    return OuterState(token_i, z_);
+  }
+
   /// The modulus bound `z`.
   uint64_t z() const { return z_; }
 

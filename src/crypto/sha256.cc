@@ -100,18 +100,22 @@ void Sha256::Update(std::string_view data) {
 }
 
 Sha256::Digest Sha256::Finish() {
-  // Pad: 0x80, zeros, 64-bit big-endian length.
-  uint64_t bits = bit_count_;
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  uint8_t zero = 0;
-  while (buffer_len_ != 56) Update(&zero, 1);
-  uint8_t len_bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bits >> (56 - i * 8));
+  // Pad: 0x80, zeros, 64-bit big-endian length — written with block-sized
+  // memsets directly into the buffer (the byte-wise Update loop this
+  // replaces dominated the per-pair cost of bulk keyed-hash scans).
+  const uint64_t bits = bit_count_;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    // The length field does not fit this block: zero-fill, flush, start a
+    // fresh padding-only block.
+    std::memset(buffer_ + buffer_len_, 0, 64 - buffer_len_);
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
   }
-  // Bypass Update() for the length so bit_count_ bookkeeping is irrelevant.
-  std::memcpy(buffer_ + 56, len_bytes, 8);
+  std::memset(buffer_ + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<uint8_t>(bits >> (56 - i * 8));
+  }
   ProcessBlock(buffer_);
 
   Digest out;
@@ -122,6 +126,11 @@ Sha256::Digest Sha256::Finish() {
     out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
   }
   return out;
+}
+
+Sha256::Digest Sha256::FinishedCopy() const {
+  Sha256 clone = *this;
+  return clone.Finish();
 }
 
 Sha256::Digest Sha256::Hash(std::string_view data) {

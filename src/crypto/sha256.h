@@ -22,12 +22,20 @@ namespace freqywm {
 ///   h.Update(data, len);
 ///   auto digest = h.Finish();   // 32 bytes
 /// \endcode
+///
+/// The state is a copyable *midstate*: copying a `Sha256` snapshots the
+/// absorbed prefix, and the copy can absorb more data and finish
+/// independently of the original (clone-after-absorb). Bulk keyed-hash
+/// scans exploit this — absorb a shared prefix once, then pay only a
+/// cloned finish per suffix (see `PairModulus::OuterState`).
 class Sha256 {
  public:
   static constexpr size_t kDigestSize = 32;
   using Digest = std::array<uint8_t, kDigestSize>;
 
   Sha256();
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
 
   /// Absorbs `len` bytes. May be called any number of times before Finish.
   void Update(const uint8_t* data, size_t len);
@@ -36,8 +44,14 @@ class Sha256 {
   void Update(std::string_view data);
 
   /// Completes the hash and returns the 32-byte digest. The object must not
-  /// be reused afterwards (construct a fresh `Sha256`).
+  /// be reused afterwards (construct a fresh `Sha256` or keep a midstate
+  /// copy taken before the call).
   Digest Finish();
+
+  /// Finishes a *clone* of the current midstate, leaving this object
+  /// untouched and reusable: `h.FinishedCopy()` equals
+  /// `Sha256(h).Finish()` and may be called repeatedly between Updates.
+  Digest FinishedCopy() const;
 
   /// One-shot digest of `data`.
   static Digest Hash(std::string_view data);

@@ -31,23 +31,27 @@ std::vector<std::vector<DetectResult>> BatchDetector::Run(
 
   // One scheme per distinct tag (the same `SchemeCache` the serial
   // registry trace uses), populated up front on the calling thread so the
-  // parallel phase only reads. Per-key detection settings are likewise
-  // resolved serially — scheme lookups and recommended-option derivation
-  // stay off the hot loop and deterministic regardless of scheduling.
+  // parallel phase only reads. Per-key detection settings and the
+  // per-key prepared state (parsed payload, FreqyWM's modulus table) are
+  // likewise resolved serially — key parsing and keyed-hash derivation are
+  // paid once per key, not once per cell, and stay off the hot loop and
+  // deterministic regardless of scheduling.
   SchemeCache cache;
   std::vector<const WatermarkScheme*> key_scheme(keys.size(), nullptr);
   std::vector<DetectOptions> key_options(keys.size());
+  std::vector<std::unique_ptr<PreparedKey>> prepared(keys.size());
   for (size_t j = 0; j < keys.size(); ++j) {
     key_scheme[j] = cache.Get(keys[j].scheme);
     if (key_scheme[j] == nullptr) continue;
     key_options[j] = options_.use_recommended_options
                          ? key_scheme[j]->RecommendedDetectOptions(keys[j])
                          : options_.detect_options;
+    prepared[j] = key_scheme[j]->Prepare(keys[j]);
   }
 
   auto detect_cell = [&](size_t i, size_t j) {
     if (key_scheme[j] == nullptr) return;  // unregistered tag → rejected
-    results[i][j] = key_scheme[j]->Detect(suspects[i], keys[j],
+    results[i][j] = key_scheme[j]->Detect(suspects[i], *prepared[j],
                                           key_options[j]);
   };
 

@@ -35,10 +35,13 @@ struct BatchDetectOptions {
 ///
 /// Scheme instances are created once per distinct key tag and shared
 /// across threads (`Detect` is const and stateless for every in-tree
-/// scheme; out-of-tree schemes joining the factory must keep it so). Keys
-/// whose scheme tag is not registered yield a default (rejected)
-/// `DetectResult`, matching the serial `FingerprintRegistry::Trace`
-/// convention of skipping them.
+/// scheme; out-of-tree schemes joining the factory must keep it so). Each
+/// key is additionally `Prepare`d once up front — key parsing and keyed
+/// modulus derivation (FreqyWM's `PairModulusTable`) are paid |keys|
+/// times, not |suspects| × |keys| times (DESIGN.md §8). Keys whose scheme
+/// tag is not registered yield a default (rejected) `DetectResult`,
+/// matching the serial `FingerprintRegistry::Trace` convention of
+/// skipping them.
 ///
 /// Determinism contract: `result[i][j]` depends only on
 /// `(suspects[i], keys[j], options)` — never on thread count or schedule —

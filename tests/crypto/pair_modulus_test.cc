@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <vector>
 
 namespace freqywm {
 namespace {
@@ -49,6 +51,42 @@ TEST(PairModulusTest, InnerDigestCacheMatchesDirectComputation) {
   Sha256::Digest inner = pm.InnerDigest("facebook.com");
   for (const char* ti : {"youtube.com", "bbc.com", "cnn.com"}) {
     EXPECT_EQ(pm.ComputeWithInner(ti, inner), pm.Compute(ti, "facebook.com"));
+  }
+}
+
+TEST(PairModulusTest, OuterStateReduceMatchesComputeWithInner) {
+  // The midstate path of the O(n^2) scan: one OuterState per token_i, one
+  // cloned finish per pair — must agree with both slower derivations for
+  // tokens of every size class (empty, short, buffer-straddling, multi-
+  // block).
+  WatermarkSecret s = GenerateSecret(256, 31);
+  for (uint64_t z : {2ull, 131ull, 1031ull}) {
+    PairModulus pm(s, z);
+    std::vector<std::string> tokens = {
+        "", "a", "youtube.com", std::string(63, 'q'), std::string(64, 'r'),
+        std::string(200, 'm')};
+    for (const std::string& ti : tokens) {
+      PairModulus::OuterState outer = pm.OuterFor(ti);
+      for (const std::string& tj : tokens) {
+        Sha256::Digest inner = pm.InnerDigest(tj);
+        EXPECT_EQ(outer.Reduce(inner), pm.ComputeWithInner(ti, inner));
+        EXPECT_EQ(outer.Reduce(inner), pm.Compute(ti, tj));
+      }
+    }
+  }
+}
+
+TEST(PairModulusTest, OuterStateIsReusableAndCopyable) {
+  WatermarkSecret s = GenerateSecret(256, 37);
+  PairModulus pm(s, 1031);
+  PairModulus::OuterState outer = pm.OuterFor("token-i");
+  PairModulus::OuterState copy = outer;
+  Sha256::Digest inner = pm.InnerDigest("token-j");
+  // Repeated reductions (and reductions through a copy) never disturb the
+  // midstate.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(outer.Reduce(inner), pm.Compute("token-i", "token-j"));
+    EXPECT_EQ(copy.Reduce(inner), pm.Compute("token-i", "token-j"));
   }
 }
 

@@ -72,6 +72,70 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(inc, once);
 }
 
+// Midstate clone-after-absorb (the per-pair hot path of eligible-pair
+// enumeration): splitting any message into prefix/suffix, absorbing the
+// prefix once and finishing clones over the suffix must reproduce the
+// one-shot digest — including splits that straddle block boundaries.
+TEST(Sha256Test, MidstateCloneMatchesOneShotAtEverySplit) {
+  // > 2 blocks so splits cover buffered, block-aligned and mid-block
+  // midstates.
+  std::string data;
+  for (int i = 0; i < 150; ++i) data.push_back(static_cast<char>('a' + i % 26));
+  const Sha256::Digest once = Sha256::Hash(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 prefix;
+    prefix.Update(std::string_view(data).substr(0, split));
+    Sha256 clone = prefix;  // midstate snapshot
+    clone.Update(std::string_view(data).substr(split));
+    EXPECT_EQ(clone.Finish(), once) << "split at " << split;
+  }
+}
+
+// One midstate, many suffixes: each cloned finish is independent and the
+// original midstate stays reusable.
+TEST(Sha256Test, MidstateIsReusableAcrossManySuffixes) {
+  Sha256 midstate;
+  midstate.Update("shared-prefix|");
+  for (int k = 0; k < 20; ++k) {
+    std::string suffix = "suffix-" + std::to_string(k);
+    Sha256 clone = midstate;
+    clone.Update(suffix);
+    EXPECT_EQ(clone.Finish(), Sha256::Hash("shared-prefix|" + suffix));
+  }
+  // The midstate itself was never finished; finishing a final clone still
+  // matches the prefix-only digest.
+  EXPECT_EQ(midstate.FinishedCopy(), Sha256::Hash("shared-prefix|"));
+}
+
+// FinishedCopy does not consume the state: repeated calls agree, and
+// updating afterwards continues from the same midstate.
+TEST(Sha256Test, FinishedCopyLeavesStateIntact) {
+  Sha256 h;
+  h.Update("abc");
+  EXPECT_EQ(h.FinishedCopy(), Sha256::Hash("abc"));
+  EXPECT_EQ(h.FinishedCopy(), Sha256::Hash("abc"));
+  h.Update("def");
+  EXPECT_EQ(h.FinishedCopy(), Sha256::Hash("abcdef"));
+}
+
+// NIST vector through the midstate path: clone of an "abc" midstate must
+// produce the canonical digest.
+TEST(Sha256Test, MidstateCloneReproducesNistVector) {
+  Sha256 h;
+  h.Update("ab");
+  Sha256 clone = h;
+  clone.Update("c");
+  Sha256::Digest d = clone.Finish();
+  std::string hex;
+  for (uint8_t b : d) {
+    static const char* k = "0123456789abcdef";
+    hex.push_back(k[b >> 4]);
+    hex.push_back(k[b & 0xf]);
+  }
+  EXPECT_EQ(hex,
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
 TEST(Sha256Test, VectorOverloadMatchesStringOverload) {
   std::string s = "bytes";
   std::vector<uint8_t> v(s.begin(), s.end());

@@ -1,0 +1,234 @@
+// Golden identity for the key-prepared detection path (ISSUE 3): for
+// every registered scheme, `Detect(suspect, *Prepare(key), options)` must
+// be byte-identical to `Detect(suspect, key, options)` — on hits, misses,
+// clean data, attacked thresholds and malformed/foreign keys — and the
+// FreqyWM `PairModulusTable` must reproduce the uncached
+// `DetectWatermarkReference` bit for bit, including keys whose pair lists
+// repeat tokens (the case the per-key inner-digest cache exists for).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/factory.h"
+#include "api/scheme.h"
+#include "common/random.h"
+#include "core/detect.h"
+#include "core/watermark.h"
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeCleanHistogram(uint64_t seed, size_t tokens = 300,
+                             size_t samples = 120000) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = tokens;
+  spec.sample_size = samples;
+  spec.alpha = 0.6;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+void ExpectSameResult(const DetectResult& a, const DetectResult& b,
+                      const std::string& label) {
+  EXPECT_TRUE(a == b) << label << ": accepted " << a.accepted << "/"
+                      << b.accepted << ", found " << a.pairs_found << "/"
+                      << b.pairs_found << ", verified " << a.pairs_verified
+                      << "/" << b.pairs_verified;
+}
+
+class PreparedDetectSchemeTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PreparedDetectSchemeTest, PreparedDetectIdenticalToKeyDetect) {
+  OptionBag bag;
+  bag.Set("seed", "515");
+  auto scheme = SchemeFactory::Create(GetParam(), bag);
+  ASSERT_TRUE(scheme.ok()) << scheme.status();
+
+  Histogram original = MakeCleanHistogram(71);
+  auto outcome = scheme.value()->Embed(original);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  const SchemeKey& key = outcome.value().key;
+
+  std::vector<std::pair<std::string, Histogram>> suspects{
+      {"own_copy", outcome.value().watermarked},
+      {"clean_original", original},
+      {"unrelated", MakeCleanHistogram(72)},
+  };
+
+  std::unique_ptr<PreparedKey> prepared = scheme.value()->Prepare(key);
+  ASSERT_NE(prepared, nullptr);
+  EXPECT_TRUE(prepared->key() == key);
+
+  DetectOptions recommended =
+      scheme.value()->RecommendedDetectOptions(key);
+  DetectOptions relaxed;
+  relaxed.pair_threshold = 2;
+  relaxed.min_pairs = 1;
+  relaxed.symmetric_residue = true;
+
+  for (const auto& [label, suspect] : suspects) {
+    for (const DetectOptions& options : {recommended, relaxed}) {
+      ExpectSameResult(scheme.value()->Detect(suspect, key, options),
+                       scheme.value()->Detect(suspect, *prepared, options),
+                       GetParam() + "/" + label);
+    }
+  }
+  // Reusing the same prepared key many times stays stable.
+  DetectResult first =
+      scheme.value()->Detect(suspects[0].second, *prepared, recommended);
+  for (int k = 0; k < 3; ++k) {
+    ExpectSameResult(
+        first,
+        scheme.value()->Detect(suspects[0].second, *prepared, recommended),
+        GetParam() + "/reuse");
+  }
+}
+
+TEST_P(PreparedDetectSchemeTest, MalformedAndForeignKeysRejectIdentically) {
+  auto scheme = SchemeFactory::Create(GetParam());
+  ASSERT_TRUE(scheme.ok()) << scheme.status();
+  Histogram suspect = MakeCleanHistogram(73);
+  DetectOptions options;
+  options.min_pairs = 1;
+
+  std::vector<SchemeKey> bad_keys{
+      SchemeKey{GetParam(), "not a valid payload"},
+      SchemeKey{GetParam(), ""},
+      SchemeKey{"some-other-scheme", "payload"},
+  };
+  for (const SchemeKey& key : bad_keys) {
+    std::unique_ptr<PreparedKey> prepared = scheme.value()->Prepare(key);
+    ASSERT_NE(prepared, nullptr);
+    ExpectSameResult(scheme.value()->Detect(suspect, key, options),
+                     scheme.value()->Detect(suspect, *prepared, options),
+                     GetParam() + "/bad-key");
+    // Malformed keys reject outright.
+    EXPECT_TRUE(scheme.value()->Detect(suspect, *prepared, options) ==
+                DetectResult{});
+  }
+
+  // A foreign PreparedKey instance (base-class wrapper, as another
+  // scheme's Prepare might produce) degrades to the key-parsing path.
+  PreparedKey foreign(SchemeKey{GetParam(), "still not valid"});
+  ExpectSameResult(
+      scheme.value()->Detect(suspect, foreign.key(), options),
+      scheme.value()->Detect(suspect, foreign, options),
+      GetParam() + "/foreign-prepared");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, PreparedDetectSchemeTest,
+    ::testing::ValuesIn(SchemeFactory::RegisteredNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// FreqyWM-core golden identity: table-backed DetectWatermark vs the
+// uncached reference, over the full options grid.
+TEST(PairModulusTableTest, TableBackedDetectMatchesUncachedReference) {
+  Histogram original = MakeCleanHistogram(81);
+  GenerateOptions gen_options;
+  gen_options.seed = 5;
+  gen_options.modulus_bound = 131;
+  auto generated =
+      WatermarkGenerator(gen_options).GenerateFromHistogram(original);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  const WatermarkSecrets& secrets = generated.value().report.secrets;
+  ASSERT_FALSE(secrets.pairs.empty());
+
+  PairModulusTable table = PairModulusTable::Build(secrets);
+  ASSERT_TRUE(table.valid());
+  EXPECT_EQ(table.num_pairs(), secrets.pairs.size());
+
+  std::vector<Histogram> suspects{generated.value().watermarked, original,
+                                  MakeCleanHistogram(82)};
+  for (const Histogram& suspect : suspects) {
+    for (uint64_t threshold : {0ull, 1ull, 5ull}) {
+      for (bool symmetric : {false, true}) {
+        for (double rescale : {0.0, 2.0}) {
+          DetectOptions d;
+          d.pair_threshold = threshold;
+          d.min_pairs = 1;
+          d.symmetric_residue = symmetric;
+          d.rescale_factor = rescale;
+          DetectResult reference =
+              DetectWatermarkReference(suspect, secrets, d);
+          ExpectSameResult(reference, DetectWatermark(suspect, table, d),
+                           "table");
+          ExpectSameResult(reference, DetectWatermark(suspect, secrets, d),
+                           "secrets-path");
+        }
+      }
+    }
+  }
+}
+
+// Repeated tokens across pairs (forged/refreshed/multi-watermark keys):
+// the interned inner-digest/midstate caches must not change any result.
+TEST(PairModulusTableTest, RepeatedTokensAcrossPairsStayIdentical) {
+  WatermarkSecrets secrets;
+  secrets.r = GenerateSecret(256, 91);
+  secrets.z = 131;
+  // token "hub" appears as token_j in many pairs and as token_i in some.
+  for (int k = 0; k < 12; ++k) {
+    secrets.pairs.push_back(SecretPair{"spoke" + std::to_string(k), "hub"});
+  }
+  secrets.pairs.push_back(SecretPair{"hub", "spoke3"});
+  secrets.pairs.push_back(SecretPair{"hub", "rim"});
+  secrets.pairs.push_back(SecretPair{"spoke1", "spoke2"});
+
+  std::vector<HistogramEntry> entries;
+  entries.push_back({"hub", 900});
+  for (int k = 0; k < 12; ++k) {
+    entries.push_back(
+        {"spoke" + std::to_string(k), 400 - static_cast<uint64_t>(k) * 13});
+  }
+  auto suspect = Histogram::FromCounts(std::move(entries));
+  ASSERT_TRUE(suspect.ok());
+
+  PairModulusTable table = PairModulusTable::Build(secrets);
+  ASSERT_TRUE(table.valid());
+  // 13 distinct spokes + hub; "rim" is absent from the suspect but still
+  // interned.
+  EXPECT_EQ(table.tokens().size(), 14u);
+
+  for (uint64_t threshold : {0ull, 3ull, 64ull}) {
+    DetectOptions d;
+    d.pair_threshold = threshold;
+    d.min_pairs = 2;
+    ExpectSameResult(DetectWatermarkReference(suspect.value(), secrets, d),
+                     DetectWatermark(suspect.value(), table, d),
+                     "repeated-tokens");
+  }
+}
+
+TEST(PairModulusTableTest, InvalidSecretsYieldInvalidTableAndRejection) {
+  WatermarkSecrets no_pairs;
+  no_pairs.r = GenerateSecret(256, 92);
+  no_pairs.z = 131;
+  EXPECT_FALSE(PairModulusTable::Build(no_pairs).valid());
+
+  WatermarkSecrets bad_z;
+  bad_z.r = GenerateSecret(256, 93);
+  bad_z.z = 1;
+  bad_z.pairs.push_back(SecretPair{"a", "b"});
+  EXPECT_FALSE(PairModulusTable::Build(bad_z).valid());
+
+  DetectOptions d;
+  d.min_pairs = 0;  // even a zero bar must not accept through an invalid table
+  Histogram suspect = MakeCleanHistogram(94, 50, 5000);
+  EXPECT_TRUE(DetectWatermark(suspect, PairModulusTable::Build(bad_z), d) ==
+              DetectWatermark(suspect, bad_z, d));
+}
+
+}  // namespace
+}  // namespace freqywm
