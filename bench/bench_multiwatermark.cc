@@ -8,14 +8,19 @@
 //   (4) ML accuracy — next-URL predictor accuracy before vs after (paper:
 //       82.33% vs 82.34% with an LSTM; here a bigram Markov model, see
 //       DESIGN.md substitutions).
+//
+// Converted to the exec-aware path and the `WatermarkScheme` API (ISSUE 4
+// bench-conversion backlog): each layer's eligible-pair scan runs through
+// an `ExecContext` pool, and every layer's secrets are verified back as a
+// portable `SchemeKey` through `WatermarkScheme::Detect`.
 
 #include <unordered_map>
 
 #include "analysis/multiwatermark.h"
 #include "analysis/ngram_model.h"
 #include "bench_common.h"
-#include "core/watermark.h"
 #include "datagen/clickstream.h"
+#include "exec/thread_pool.h"
 #include "stats/decomposition.h"
 
 namespace fb = freqywm::bench;
@@ -35,19 +40,46 @@ int main() {
 
   GenerateOptions o =
       fb::MakeOptions(2.0, 131, SelectionStrategy::kGreedy, 77);
-  auto multi = ApplySuccessiveWatermarks(original_hist, 10, o);
+  // Layers are inherently sequential; the pool parallelizes each layer's
+  // eligible-pair scan (byte-identical to the serial path). At least one
+  // worker: ThreadPool(0) would auto-size rather than mean "none".
+  ThreadPool pool(std::max<size_t>(1, ThreadPool::HardwareThreads() - 1));
+  ExecContext exec{&pool};
+  auto multi = ApplySuccessiveWatermarks(original_hist, 10, o, exec);
   if (!multi.ok()) {
     std::printf("multi-watermarking failed: %s\n",
                 multi.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("layers embedded: %zu\n", multi.value().layers_embedded);
+  std::printf("layers embedded: %zu (threads: %zu)\n",
+              multi.value().layers_embedded,
+              pool.num_threads() + 1);
   std::printf("\n-- discrepancy (similarity to ORIGINAL after each layer) --\n");
   for (size_t i = 0; i < multi.value().similarity_to_original.size(); ++i) {
     std::printf("layer %2zu: %.6f%%  (distortion %.6f%%)\n", i + 1,
                 multi.value().similarity_to_original[i],
                 100.0 - multi.value().similarity_to_original[i]);
+  }
+
+  // Every layer's secrets, carried as a portable `SchemeKey` and verified
+  // back through the scheme interface: the provenance use case — the
+  // newest layer verifies perfectly, older layers degrade gracefully.
+  std::printf("\n-- per-layer verification (WatermarkScheme::Detect) --\n");
+  {
+    auto scheme = SchemeFactory::Create("freqywm");
+    if (!scheme.ok()) return 1;
+    DetectOptions d;
+    d.pair_threshold = 4;  // later layers perturb earlier ones slightly
+    d.min_pairs = 1;
+    for (size_t i = 0; i < multi.value().layers.size(); ++i) {
+      SchemeKey key{"freqywm", multi.value().layers[i].Serialize()};
+      DetectResult r =
+          scheme.value()->Detect(multi.value().final_histogram, key, d);
+      std::printf("layer %2zu: verified %zu/%zu (%.3f) %s\n", i + 1,
+                  r.pairs_verified, r.pairs_found, r.verified_fraction,
+                  r.accepted ? "accepted" : "REJECTED");
+    }
   }
 
   // Rebuild a concrete *timestamped* stream carrying all 10 layers: apply

@@ -7,6 +7,13 @@ namespace freqywm {
 Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
     const Histogram& original, size_t num_watermarks,
     const GenerateOptions& base_options) {
+  return ApplySuccessiveWatermarks(original, num_watermarks, base_options,
+                                   ExecContext{});
+}
+
+Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
+    const Histogram& original, size_t num_watermarks,
+    const GenerateOptions& base_options, const ExecContext& exec) {
   MultiWatermarkResult out;
   out.final_histogram = original;
 
@@ -19,7 +26,7 @@ Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
     // earlier layers may have introduced count ties in a different order).
     Histogram input = out.final_histogram.Resorted();
     Result<HistogramGenerateResult> r =
-        generator.GenerateFromHistogram(input);
+        generator.GenerateFromHistogram(input, exec);
     if (!r.ok()) {
       if (r.status().code() == StatusCode::kResourceExhausted) {
         // This layer found no room; record and continue with the next.

@@ -8,6 +8,7 @@
 #include "core/secrets.h"
 #include "core/watermark.h"
 #include "data/histogram.h"
+#include "exec/exec_context.h"
 
 namespace freqywm {
 
@@ -33,6 +34,15 @@ struct MultiWatermarkResult {
 Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
     const Histogram& original, size_t num_watermarks,
     const GenerateOptions& base_options);
+
+/// Exec-aware variant: every layer's eligible-pair scan runs through
+/// `exec` (DESIGN.md §8), so multi-watermarking parallelizes inside each
+/// layer (the layers themselves are inherently sequential — layer i
+/// watermarks layer i-1's output). Byte-identical to the serial overload
+/// at any thread count.
+Result<MultiWatermarkResult> ApplySuccessiveWatermarks(
+    const Histogram& original, size_t num_watermarks,
+    const GenerateOptions& base_options, const ExecContext& exec);
 
 }  // namespace freqywm
 

@@ -61,9 +61,14 @@ FreqyWmScheme::FreqyWmScheme(GenerateOptions options,
 std::string FreqyWmScheme::name() const { return "freqywm"; }
 
 Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original) const {
+  return Embed(original, ExecContext{});
+}
+
+Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original,
+                                          const ExecContext& exec) const {
   FREQYWM_ASSIGN_OR_RETURN(
       HistogramGenerateResult generated,
-      WatermarkGenerator(options_).GenerateFromHistogram(original));
+      WatermarkGenerator(options_).GenerateFromHistogram(original, exec));
   EmbedOutcome out;
   out.key = MakeKey(generated.report.secrets);
   out.report = MakeReport(generated.report);

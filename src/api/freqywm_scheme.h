@@ -22,6 +22,10 @@ class FreqyWmScheme : public WatermarkScheme {
 
   std::string name() const override;
   Result<EmbedOutcome> Embed(const Histogram& original) const override;
+  /// Exec-aware embed: the eligible-pair scan shards across the pool
+  /// (DESIGN.md §8); byte-identical output at any thread count.
+  Result<EmbedOutcome> Embed(const Histogram& original,
+                             const ExecContext& exec) const override;
   Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original) const override;
   Result<DatasetEmbedOutcome> EmbedDataset(

@@ -64,6 +64,11 @@ Result<SchemeKey> SchemeKey::LoadFromFile(const std::string& path) {
   return Deserialize(buf.str());
 }
 
+Result<EmbedOutcome> WatermarkScheme::Embed(const Histogram& original,
+                                            const ExecContext& /*exec*/) const {
+  return Embed(original);
+}
+
 Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
     const Dataset& original) const {
   return EmbedDataset(original, ExecContext{});
@@ -72,7 +77,7 @@ Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
 Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
     const Dataset& original, const ExecContext& exec) const {
   Histogram hist = exec.BuildHistogram(original);
-  FREQYWM_ASSIGN_OR_RETURN(EmbedOutcome outcome, Embed(hist));
+  FREQYWM_ASSIGN_OR_RETURN(EmbedOutcome outcome, Embed(hist, exec));
   Rng rng(dataset_transform_seed());
   DatasetEmbedOutcome out;
   out.watermarked = TransformDataset(original, outcome.watermarked, rng);

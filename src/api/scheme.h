@@ -118,6 +118,15 @@ class WatermarkScheme {
   /// Watermarks a frequency histogram.
   virtual Result<EmbedOutcome> Embed(const Histogram& original) const = 0;
 
+  /// Exec-aware variant of `Embed`: when `exec` carries a thread pool, the
+  /// scheme's intra-embed hot loops run sharded across it — FreqyWM's
+  /// eligible-pair scan (DESIGN.md §8), WM-OBT's per-partition genetic
+  /// optimization and WM-RVS's per-token keyed-hash pass (DESIGN.md §9).
+  /// The default delegates to the serial `Embed`. Overrides must keep the
+  /// determinism contract: byte-identical output at any thread count.
+  virtual Result<EmbedOutcome> Embed(const Histogram& original,
+                                     const ExecContext& exec) const;
+
   /// Watermarks a dataset end-to-end. The default implementation embeds at
   /// histogram level and applies the generic data transformation (insert or
   /// remove token instances at random positions until the histogram
@@ -126,9 +135,10 @@ class WatermarkScheme {
       const Dataset& original) const;
 
   /// Exec-aware variant of `EmbedDataset`: when `exec` carries a thread
-  /// pool, the histogram build (the token→count aggregation — the one
-  /// data-size-bound stage of embedding) is sharded across it and merged
-  /// (DESIGN.md §7). The outcome is bit-identical to the serial overload
+  /// pool, the histogram build (the token→count aggregation) is sharded
+  /// across it and merged (DESIGN.md §7), and the histogram-level embed
+  /// runs through `Embed(original, exec)` so intra-embed hot loops
+  /// parallelize too. The outcome is bit-identical to the serial overload
   /// for any thread count; overriding schemes must preserve that contract.
   virtual Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original, const ExecContext& exec) const;

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "api/key_util.h"
-#include "common/random.h"
 #include "stats/similarity.h"
 
 namespace freqywm {
@@ -83,11 +82,15 @@ Result<WmObtOptions> WmObtScheme::ParseKeyPayload(
 }
 
 Result<EmbedOutcome> WmObtScheme::Embed(const Histogram& original) const {
+  return Embed(original, ExecContext{});
+}
+
+Result<EmbedOutcome> WmObtScheme::Embed(const Histogram& original,
+                                        const ExecContext& exec) const {
   if (original.empty()) {
     return Status::InvalidArgument("cannot watermark an empty histogram");
   }
-  Rng rng(options_.key_seed);
-  Histogram watermarked = EmbedWmObt(original, options_, rng);
+  Histogram watermarked = EmbedWmObt(original, options_, exec);
 
   // Calibrate the decode threshold from this embedding: the hiding
   // statistic is nearly scale-invariant, so the achievable bit-0/bit-1

@@ -21,6 +21,11 @@ class WmObtScheme : public WatermarkScheme {
 
   std::string name() const override;
   Result<EmbedOutcome> Embed(const Histogram& original) const override;
+  /// Exec-aware embed: the per-partition genetic optimization shards
+  /// across the pool (deterministic per-partition RNG streams, DESIGN.md
+  /// §9); byte-identical output at any thread count.
+  Result<EmbedOutcome> Embed(const Histogram& original,
+                             const ExecContext& exec) const override;
   DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
                       const DetectOptions& options) const override;
   /// Parses the key payload once; the prepared `Detect` skips re-parsing.

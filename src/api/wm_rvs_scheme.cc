@@ -69,20 +69,21 @@ Result<WmRvsOptions> WmRvsScheme::ParseKeyPayload(
   return options;
 }
 
-Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original) const {
-  if (original.empty()) {
-    return Status::InvalidArgument("cannot watermark an empty histogram");
-  }
-  WmRvsSideTable side_table;
-  Histogram watermarked = EmbedWmRvs(original, options_, &side_table);
+namespace {
 
+/// Assembles the outcome of embedding (or re-embedding) under `options`:
+/// report statistics are measured against `baseline` — the original for
+/// `Embed`, the drifted input for `Refresh`.
+EmbedOutcome MakeOutcome(const Histogram& baseline, Histogram watermarked,
+                         const WmRvsSideTable& side_table,
+                         const WmRvsOptions& options) {
   EmbedOutcome out;
-  out.key = SchemeKey{"wm-rvs", SerializeKeyPayload(options_)};
+  out.key = SchemeKey{"wm-rvs", WmRvsScheme::SerializeKeyPayload(options)};
   out.report.embedded_units = side_table.entries.size();
-  out.report.eligible_units = original.num_tokens();
+  out.report.eligible_units = baseline.num_tokens();
   out.report.similarity_percent =
-      HistogramSimilarityPercent(original, watermarked);
-  for (const auto& e : original.entries()) {
+      HistogramSimilarityPercent(baseline, watermarked);
+  for (const auto& e : baseline.entries()) {
     auto count = watermarked.CountOf(e.token);
     if (!count) continue;
     out.report.total_churn += *count > e.count ? *count - e.count
@@ -90,6 +91,42 @@ Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original) const {
   }
   out.watermarked = std::move(watermarked);
   return out;
+}
+
+}  // namespace
+
+Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original) const {
+  return Embed(original, ExecContext{});
+}
+
+Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original,
+                                        const ExecContext& exec) const {
+  if (original.empty()) {
+    return Status::InvalidArgument("cannot watermark an empty histogram");
+  }
+  WmRvsSideTable side_table;
+  Histogram watermarked = EmbedWmRvs(original, options_, &side_table, exec);
+  return MakeOutcome(original, std::move(watermarked), side_table, options_);
+}
+
+Result<EmbedOutcome> WmRvsScheme::Refresh(const Histogram& drifted,
+                                          const SchemeKey& key) const {
+  if (key.scheme != "wm-rvs") {
+    return Status::InvalidArgument("key belongs to scheme '" + key.scheme +
+                                   "'");
+  }
+  if (drifted.empty()) {
+    return Status::InvalidArgument("cannot refresh an empty histogram");
+  }
+  FREQYWM_ASSIGN_OR_RETURN(WmRvsOptions keyed, ParseKeyPayload(key.payload));
+  // Re-embedding under the key overwrites each decodable token's keyed
+  // substitution digit, realigning whatever drift touched; the report's
+  // churn/similarity measure the realignment cost against the drifted
+  // input. The refreshed key equals the input key (the digit key never
+  // rotates), so existing escrowed copies keep verifying.
+  WmRvsSideTable side_table;
+  Histogram refreshed = EmbedWmRvs(drifted, keyed, &side_table);
+  return MakeOutcome(drifted, std::move(refreshed), side_table, keyed);
 }
 
 DetectResult WmRvsScheme::Detect(const Histogram& suspect,

@@ -24,6 +24,10 @@ class WmRvsScheme : public WatermarkScheme {
 
   std::string name() const override;
   Result<EmbedOutcome> Embed(const Histogram& original) const override;
+  /// Exec-aware embed: the per-token keyed-hash pass fans out across the
+  /// pool; byte-identical output (and side effects) at any thread count.
+  Result<EmbedOutcome> Embed(const Histogram& original,
+                             const ExecContext& exec) const override;
   DetectResult Detect(const Histogram& suspect, const SchemeKey& key,
                       const DetectOptions& options) const override;
   /// Parses the key payload once; the prepared `Detect` skips re-parsing.
@@ -31,6 +35,15 @@ class WmRvsScheme : public WatermarkScheme {
   DetectResult Detect(const Histogram& suspect, const PreparedKey& prepared,
                       const DetectOptions& options) const override;
   DetectOptions RecommendedDetectOptions(const SchemeKey& key) const override;
+
+  /// WM-RVS refresh = re-embed under the key (DESIGN.md §6 parity gap):
+  /// embedding *sets* each token's keyed substitution digit outright, so a
+  /// drifted digit needs no explicit revert — re-embedding the drifted
+  /// histogram restores every decodable token's watermark digit while
+  /// leaving already-aligned counts untouched (idempotent on clean data).
+  bool SupportsRefresh() const override { return true; }
+  Result<EmbedOutcome> Refresh(const Histogram& drifted,
+                               const SchemeKey& key) const override;
 
   const WmRvsOptions& options() const { return options_; }
 

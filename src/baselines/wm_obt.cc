@@ -3,59 +3,229 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "crypto/sha256.h"
+#include "exec/thread_pool.h"
 
 namespace freqywm {
 namespace {
 
-/// The hiding statistic of Shehab et al.: a smoothed "fraction of values
-/// above the reference point mean + c * stddev". Sigmoid-smoothed so the GA
-/// has a gradient to climb.
-double HidingStatistic(const std::vector<int64_t>& values, double condition) {
-  const size_t n = values.size();
-  if (n == 0) return 0.0;
-  double mean = 0;
-  for (int64_t v : values) mean += static_cast<double>(v);
-  mean /= static_cast<double>(n);
-  double var = 0;
-  for (int64_t v : values) {
-    var += (static_cast<double>(v) - mean) * (static_cast<double>(v) - mean);
-  }
-  double sd = std::sqrt(var / static_cast<double>(n));
-  if (sd == 0) sd = 1.0;
-  double ref = mean + condition * sd;
-
-  double stat = 0;
-  for (int64_t v : values) {
-    double zscaled = (static_cast<double>(v) - ref) / sd;
-    stat += 1.0 / (1.0 + std::exp(-zscaled));
-  }
-  return stat / static_cast<double>(n);
-}
-
-/// One GA individual: integer deltas for each value of a partition.
-struct Individual {
-  std::vector<int64_t> deltas;
-  double fitness = 0;
+/// Inclusive delta bounds for one value under the per-value change
+/// constraint. The GA precomputes these once per partition; the reference
+/// path recomputes them per gene access (kept for the oracle).
+struct GeneBounds {
+  int64_t lo = 0;
+  int64_t hi = 0;
 };
 
-/// Optimizes the deltas of one partition with a simple generational GA:
-/// tournament selection, uniform crossover, per-gene mutation.
-std::vector<int64_t> OptimizePartition(const std::vector<int64_t>& values,
-                                       bool maximize,
-                                       const WmObtOptions& opt, Rng& rng) {
+GeneBounds BoundsFor(int64_t value, const WmObtOptions& opt) {
+  GeneBounds b;
+  b.lo = static_cast<int64_t>(
+      std::floor(opt.min_change_fraction * static_cast<double>(value)));
+  b.hi = static_cast<int64_t>(
+      std::floor(opt.max_change_fraction * static_cast<double>(value)));
+  b.lo = std::max(b.lo, 1 - value);  // counts must remain >= 1
+  if (b.hi < b.lo) b.hi = b.lo;
+  return b;
+}
+
+/// Distance (in genes) to the next mutated gene: geometric with success
+/// probability `rate`, capped at `n` ("no further mutation in this child").
+/// One draw replaces a Bernoulli trial per gene — identically distributed,
+/// ~1/rate times fewer RNG draws.
+size_t GeometricSkip(Rng& rng, double rate, size_t n) {
+  if (rate >= 1.0) return 0;
+  if (rate <= 0.0) return n;
+  const double d = std::log1p(-rng.UniformDouble()) / std::log1p(-rate);
+  if (!(d < static_cast<double>(n))) return n;
+  return static_cast<size_t>(d);
+}
+
+/// Minimum offspring-evaluation work (individuals x genes) before the GA
+/// fans a generation's fitness pass out across the pool: the dispatch
+/// overhead (one queued task per helper, mutex + wakeup) only amortizes
+/// over thousands of sigmoid evaluations. Purely a latency knob: the
+/// fitness function is pure, so the threshold never changes output bytes.
+constexpr size_t kParallelEvalMinWork = 8192;
+
+/// The WM-OBT genetic optimizer for one partition, restructured for the
+/// hot path (DESIGN.md §9):
+///  * flat ping-pong population buffers — zero allocation per child/eval;
+///  * per-individual running sum / sum-of-squares maintained while genes
+///    are written, so each fitness evaluation is one sigmoid pass with
+///    O(1) mean/stddev (`HidingStatisticFromMoments`);
+///  * crossover bits taken 64 per `NextU64`, mutation sites by geometric
+///    skipping — distributionally identical to the reference's per-gene
+///    Bernoulli trials;
+///  * offspring construction is serial on the partition's RNG stream
+///    (deterministic), fitness evaluation of a generation is pure and
+///    fans out across `exec` when the partition is large enough.
+class WmObtGa {
+ public:
+  WmObtGa(const std::vector<int64_t>& values, bool maximize,
+          const WmObtOptions& opt, Rng& rng, const ExecContext& exec)
+      : values_(values),
+        maximize_(maximize),
+        opt_(opt),
+        rng_(rng),
+        exec_(exec),
+        n_(values.size()),
+        pop_(opt.population) {}
+
+  std::vector<int64_t> Run() {
+    if (n_ == 0 || pop_ == 0) return {};
+    bounds_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) bounds_[i] = BoundsFor(values_[i], opt_);
+
+    Buffers cur(pop_, n_), next(pop_, n_);
+    for (size_t c = 0; c < pop_; ++c) RandomIndividual(cur, c);
+    Evaluate(cur, /*first=*/0);
+
+    for (size_t gen = 0; gen < opt_.generations; ++gen) {
+      // Elitism: carry the best individual (lowest index on ties) over.
+      const size_t best = ArgBest(cur);
+      next.CopyFrom(cur, best, /*to=*/0);
+      for (size_t c = 1; c < pop_; ++c) MakeChild(cur, next, c);
+      Evaluate(next, /*first=*/1);  // slot 0 keeps the elite's fitness
+      std::swap(cur, next);
+    }
+
+    const size_t best = ArgBest(cur);
+    const int64_t* genes = cur.Genes(best);
+    return std::vector<int64_t>(genes, genes + n_);
+  }
+
+ private:
+  /// Flat population storage: `pop` individuals of `n` genes each, plus
+  /// their running moments and fitness.
+  struct Buffers {
+    Buffers(size_t pop, size_t n)
+        : stride(n), genes(pop * n), sum(pop), sum_squares(pop),
+          fitness(pop) {}
+
+    int64_t* Genes(size_t c) { return genes.data() + c * stride; }
+    const int64_t* Genes(size_t c) const {
+      return genes.data() + c * stride;
+    }
+
+    void CopyFrom(const Buffers& src, size_t from, size_t to) {
+      std::copy(src.Genes(from), src.Genes(from) + stride, Genes(to));
+      sum[to] = src.sum[from];
+      sum_squares[to] = src.sum_squares[from];
+      fitness[to] = src.fitness[from];
+    }
+
+    size_t stride;
+    std::vector<int64_t> genes;
+    std::vector<double> sum;
+    std::vector<double> sum_squares;
+    std::vector<double> fitness;
+  };
+
+  size_t ArgBest(const Buffers& b) const {
+    size_t best = 0;
+    for (size_t c = 1; c < pop_; ++c) {
+      if (b.fitness[c] > b.fitness[best]) best = c;
+    }
+    return best;
+  }
+
+  size_t Tournament(const Buffers& b) {
+    const size_t a = static_cast<size_t>(rng_.UniformU64(pop_));
+    const size_t c = static_cast<size_t>(rng_.UniformU64(pop_));
+    return b.fitness[a] >= b.fitness[c] ? a : c;
+  }
+
+  void RandomIndividual(Buffers& b, size_t c) {
+    int64_t* genes = b.Genes(c);
+    double sum = 0, sum_squares = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      genes[i] = rng_.UniformInt(bounds_[i].lo, bounds_[i].hi);
+      const double m = static_cast<double>(values_[i] + genes[i]);
+      sum += m;
+      sum_squares += m * m;
+    }
+    b.sum[c] = sum;
+    b.sum_squares[c] = sum_squares;
+  }
+
+  /// Tournament selection + uniform crossover + per-gene mutation, genes
+  /// written straight into `next`'s slot `c` with moments accumulated in
+  /// the same pass. Parent genes are already within bounds and mutation
+  /// draws within bounds, so no clamp is needed.
+  void MakeChild(const Buffers& cur, Buffers& next, size_t c) {
+    const int64_t* pa = cur.Genes(Tournament(cur));
+    const int64_t* pb = cur.Genes(Tournament(cur));
+    int64_t* child = next.Genes(c);
+    double sum = 0, sum_squares = 0;
+    uint64_t mask = 0;
+    size_t mask_bits = 0;
+    size_t next_mutation = GeometricSkip(rng_, opt_.mutation_rate, n_);
+    for (size_t i = 0; i < n_; ++i) {
+      if (mask_bits == 0) {
+        mask = rng_.NextU64();
+        mask_bits = 64;
+      }
+      int64_t d = (mask & 1) != 0 ? pa[i] : pb[i];
+      mask >>= 1;
+      --mask_bits;
+      if (i == next_mutation) {
+        d = rng_.UniformInt(bounds_[i].lo, bounds_[i].hi);
+        const size_t skip = GeometricSkip(rng_, opt_.mutation_rate, n_);
+        next_mutation = skip >= n_ - i ? n_ : i + 1 + skip;
+      }
+      child[i] = d;
+      const double m = static_cast<double>(values_[i] + d);
+      sum += m;
+      sum_squares += m * m;
+    }
+    next.sum[c] = sum;
+    next.sum_squares[c] = sum_squares;
+  }
+
+  /// Fitness of individuals [first, pop): pure given the already-written
+  /// genes and moments, so the pass fans out across the pool for large
+  /// partitions — same doubles at any thread count.
+  void Evaluate(Buffers& b, size_t first) {
+    const size_t count = pop_ - first;
+    auto body = [&](size_t k) {
+      const size_t c = first + k;
+      const double stat =
+          HidingStatisticFromMoments(values_.data(), b.Genes(c), n_, b.sum[c],
+                                     b.sum_squares[c], opt_.condition);
+      b.fitness[c] = maximize_ ? stat : -stat;
+    };
+    if (exec_.parallel() && count * n_ >= kParallelEvalMinWork) {
+      exec_.pool->ParallelFor(count, body);
+    } else {
+      for (size_t k = 0; k < count; ++k) body(k);
+    }
+  }
+
+  const std::vector<int64_t>& values_;
+  const bool maximize_;
+  const WmObtOptions& opt_;
+  Rng& rng_;
+  const ExecContext& exec_;
+  const size_t n_;
+  const size_t pop_;
+  std::vector<GeneBounds> bounds_;
+};
+
+/// Optimizes the deltas of one partition with the pre-parallel generational
+/// GA, kept verbatim as the oracle behind `EmbedWmObtReference`: tournament
+/// selection, uniform crossover, per-gene mutation, one shared RNG stream,
+/// full-pass statistics and a fresh `modified[]` per evaluation.
+std::vector<int64_t> OptimizePartitionReference(
+    const std::vector<int64_t>& values, bool maximize,
+    const WmObtOptions& opt, Rng& rng) {
   const size_t n = values.size();
   if (n == 0) return {};
 
   auto delta_bounds = [&](int64_t value) {
-    int64_t lo = static_cast<int64_t>(
-        std::floor(opt.min_change_fraction * static_cast<double>(value)));
-    int64_t hi = static_cast<int64_t>(
-        std::floor(opt.max_change_fraction * static_cast<double>(value)));
-    lo = std::max(lo, 1 - value);  // counts must remain >= 1
-    if (hi < lo) hi = lo;
-    return std::pair<int64_t, int64_t>(lo, hi);
+    GeneBounds b = BoundsFor(value, opt);
+    return std::pair<int64_t, int64_t>(b.lo, b.hi);
   };
   auto clamp_delta = [&](int64_t value, int64_t delta) {
     auto [lo, hi] = delta_bounds(value);
@@ -70,6 +240,11 @@ std::vector<int64_t> OptimizePartition(const std::vector<int64_t>& values,
     for (size_t i = 0; i < n; ++i) modified[i] = values[i] + deltas[i];
     double s = HidingStatistic(modified, opt.condition);
     return maximize ? s : -s;
+  };
+
+  struct Individual {
+    std::vector<int64_t> deltas;
+    double fitness = 0;
   };
   auto random_individual = [&]() {
     Individual ind;
@@ -137,25 +312,173 @@ size_t PartitionOf(const Token& token, uint64_t key_seed,
   return static_cast<size_t>(DigestPrefixU64(h.Finish()) % num_partitions);
 }
 
+/// Groups histogram ranks by secret partition. The per-rank keyed hash is
+/// one SHA-256 each, so the assignment pass fans out across `exec`; the
+/// grouping itself is serial and rank-ordered either way.
+std::vector<std::vector<size_t>> PartitionRanks(const Histogram& hist,
+                                                const WmObtOptions& options,
+                                                const ExecContext& exec) {
+  const auto& entries = hist.entries();
+  std::vector<size_t> partition_of(entries.size());
+  auto assign = [&](size_t rank) {
+    partition_of[rank] = PartitionOf(entries[rank].token, options.key_seed,
+                                     options.num_partitions);
+  };
+  if (exec.parallel() && entries.size() >= 1024) {
+    exec.pool->ParallelFor(entries.size(), assign);
+  } else {
+    for (size_t rank = 0; rank < entries.size(); ++rank) assign(rank);
+  }
+  std::vector<std::vector<size_t>> partitions(options.num_partitions);
+  for (size_t rank = 0; rank < entries.size(); ++rank) {
+    partitions[partition_of[rank]].push_back(rank);
+  }
+  return partitions;
+}
+
 }  // namespace
 
-Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
-                     Rng& rng, WmObtStats* stats) {
-  assert(options.num_partitions > 0 && !options.watermark_bits.empty());
+double HidingStatistic(const std::vector<int64_t>& values, double condition) {
+  const size_t n = values.size();
+  if (n == 0) return 0.0;
+  double mean = 0;
+  for (int64_t v : values) mean += static_cast<double>(v);
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (int64_t v : values) {
+    var += (static_cast<double>(v) - mean) * (static_cast<double>(v) - mean);
+  }
+  double sd = std::sqrt(var / static_cast<double>(n));
+  if (sd == 0) sd = 1.0;
+  double ref = mean + condition * sd;
 
-  // Group ranks by secret partition.
-  std::vector<std::vector<size_t>> partitions(options.num_partitions);
+  double stat = 0;
+  for (int64_t v : values) {
+    double zscaled = (static_cast<double>(v) - ref) / sd;
+    stat += 1.0 / (1.0 + std::exp(-zscaled));
+  }
+  return stat / static_cast<double>(n);
+}
+
+double HidingStatisticFromMoments(const int64_t* values, const int64_t* deltas,
+                                  size_t n, double sum, double sum_squares,
+                                  double condition) {
+  if (n == 0) return 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double mean = sum * inv_n;
+  double var = sum_squares * inv_n - mean * mean;
+  if (var < 0) var = 0;  // cancellation on near-constant partitions
+  double sd = std::sqrt(var);
+  if (sd == 0) sd = 1.0;
+  const double ref = mean + condition * sd;
+  const double inv_sd = 1.0 / sd;
+  double stat = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double z =
+        (static_cast<double>(values[i] + deltas[i]) - ref) * inv_sd;
+    stat += 1.0 / (1.0 + std::exp(-z));
+  }
+  return stat * inv_n;
+}
+
+uint64_t WmObtPartitionStreamSeed(uint64_t key_seed, size_t partition) {
+  Sha256 h;
+  h.Update("wm-obt-stream:");
+  h.Update(std::to_string(key_seed));
+  h.Update(":");
+  h.Update(std::to_string(partition));
+  return DigestPrefixU64(h.Finish());
+}
+
+Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
+                     const ExecContext& exec, WmObtStats* stats) {
+  assert(options.num_partitions > 0 && !options.watermark_bits.empty() &&
+         options.population > 0);
+
   const auto& entries = original.entries();
-  for (size_t rank = 0; rank < entries.size(); ++rank) {
-    partitions[PartitionOf(entries[rank].token, options.key_seed,
-                           options.num_partitions)]
-        .push_back(rank);
+  std::vector<std::vector<size_t>> partitions =
+      PartitionRanks(original, options, exec);
+
+  // Per-partition inputs gathered serially, outputs written by index —
+  // each partition's GA then depends only on (key_seed, p, its values),
+  // never on thread scheduling or on the other partitions.
+  std::vector<std::vector<int64_t>> values(options.num_partitions);
+  std::vector<std::vector<int64_t>> deltas(options.num_partitions);
+  for (size_t p = 0; p < options.num_partitions; ++p) {
+    values[p].reserve(partitions[p].size());
+    for (size_t rank : partitions[p]) {
+      values[p].push_back(static_cast<int64_t>(entries[rank].count));
+    }
+  }
+
+  // The outer partition loop saturates the pool whenever there are at
+  // least as many partitions as threads; the GA's nested offspring
+  // fan-out would then only add queue contention, so it gets the pool
+  // only when partitions are scarce. Either way the fitness pass is
+  // pure — the choice never changes output bytes.
+  const size_t total_threads =
+      exec.parallel() ? exec.pool->num_threads() + 1 : 1;
+  const ExecContext ga_exec =
+      options.num_partitions < total_threads ? exec : ExecContext{};
+  auto optimize = [&](size_t p) {
+    if (values[p].empty()) return;
+    const int bit = options.watermark_bits[p % options.watermark_bits.size()];
+    Rng rng(WmObtPartitionStreamSeed(options.key_seed, p));
+    WmObtGa ga(values[p], /*maximize=*/bit == 1, options, rng, ga_exec);
+    deltas[p] = ga.Run();
+  };
+  if (exec.parallel()) {
+    exec.pool->ParallelFor(options.num_partitions, optimize);
+  } else {
+    for (size_t p = 0; p < options.num_partitions; ++p) optimize(p);
   }
 
   Histogram out = original;
   if (stats) {
     stats->partition_statistic.assign(options.num_partitions, 0.0);
     stats->decoded_bits.assign(options.num_partitions, 0);
+    stats->decode_threshold = options.decode_threshold;
+  }
+  std::vector<int64_t> modified;
+  for (size_t p = 0; p < options.num_partitions; ++p) {
+    const auto& ranks = partitions[p];
+    if (ranks.empty()) continue;
+    // A degenerate GA (population == 0, asserted above but reachable in
+    // release builds) yields no deltas; leave the partition unmodified
+    // rather than index past the empty vector.
+    if (deltas[p].size() != ranks.size()) continue;
+    modified.resize(ranks.size());
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      modified[i] = values[p][i] + deltas[p][i];
+      Status s = out.SetCount(entries[ranks[i]].token,
+                              static_cast<uint64_t>(modified[i]));
+      assert(s.ok());
+      (void)s;
+    }
+    if (stats) {
+      double stat = HidingStatistic(modified, options.condition);
+      stats->partition_statistic[p] = stat;
+      // Decode: statistic above threshold reads as bit 1.
+      stats->decoded_bits[p] = stat >= options.decode_threshold ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+Histogram EmbedWmObtReference(const Histogram& original,
+                              const WmObtOptions& options, Rng& rng,
+                              WmObtStats* stats) {
+  assert(options.num_partitions > 0 && !options.watermark_bits.empty());
+
+  std::vector<std::vector<size_t>> partitions =
+      PartitionRanks(original, options, ExecContext{});
+  const auto& entries = original.entries();
+
+  Histogram out = original;
+  if (stats) {
+    stats->partition_statistic.assign(options.num_partitions, 0.0);
+    stats->decoded_bits.assign(options.num_partitions, 0);
+    stats->decode_threshold = options.decode_threshold;
   }
 
   for (size_t p = 0; p < options.num_partitions; ++p) {
@@ -168,8 +491,8 @@ Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
     for (size_t rank : ranks) {
       values.push_back(static_cast<int64_t>(entries[rank].count));
     }
-    std::vector<int64_t> deltas =
-        OptimizePartition(values, /*maximize=*/bit == 1, options, rng);
+    std::vector<int64_t> deltas = OptimizePartitionReference(
+        values, /*maximize=*/bit == 1, options, rng);
 
     std::vector<int64_t> modified(values.size());
     for (size_t i = 0; i < ranks.size(); ++i) {
@@ -183,7 +506,7 @@ Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
       double stat = HidingStatistic(modified, options.condition);
       stats->partition_statistic[p] = stat;
       // Decode: statistic above threshold reads as bit 1.
-      stats->decoded_bits[p] = stat >= stats->decode_threshold ? 1 : 0;
+      stats->decoded_bits[p] = stat >= options.decode_threshold ? 1 : 0;
     }
   }
   return out;

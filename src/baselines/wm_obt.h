@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "core/detect.h"
 #include "data/histogram.h"
+#include "exec/exec_context.h"
 
 namespace freqywm {
 
@@ -51,13 +52,60 @@ struct WmObtStats {
   std::vector<double> partition_statistic;
   /// Decoded bits using `decode_threshold`.
   std::vector<int> decoded_bits;
+  /// The threshold the bits were decoded against — copied from
+  /// `WmObtOptions::decode_threshold` at embed time, so embed-side decode
+  /// stats always agree with `DetectWmObt` under the same options.
   double decode_threshold = 0.0966;
 };
 
+/// The hiding statistic of Shehab et al.: a smoothed "fraction of values
+/// above the reference point mean + c * stddev", sigmoid-smoothed so the GA
+/// has a gradient to climb. Three-pass reference implementation (mean,
+/// variance, sigmoid sum); the GA hot path uses
+/// `HidingStatisticFromMoments` instead.
+double HidingStatistic(const std::vector<int64_t>& values, double condition);
+
+/// Allocation-free incremental evaluation of the hiding statistic over the
+/// modified vector `values[i] + deltas[i]`, given the running sum and
+/// sum-of-squares of the modified values (maintained by the GA while a
+/// child's genes are written, so mean and stddev cost O(1) here and the
+/// whole evaluation is a single in-place sigmoid pass). Agrees with
+/// `HidingStatistic` on the materialized vector up to floating-point
+/// reassociation of the variance (golden-tested in
+/// `tests/exec/parallel_baseline_embed_test.cc`).
+double HidingStatisticFromMoments(const int64_t* values, const int64_t* deltas,
+                                  size_t n, double sum, double sum_squares,
+                                  double condition);
+
+/// The deterministic per-partition RNG stream seed: SHA-256 of
+/// `(key_seed, partition_index)`, so partition p's genetic optimization
+/// consumes its own stream regardless of which other partitions exist or in
+/// which order (or on which thread) they are processed. This is what makes
+/// the parallel embed byte-identical at any thread count (DESIGN.md §9).
+uint64_t WmObtPartitionStreamSeed(uint64_t key_seed, size_t partition);
+
 /// Embeds WM-OBT into a histogram's counts. Returns the watermarked copy
 /// (counts modified in place per partition, never below 1).
+///
+/// Each partition's genetic optimizer runs on its own deterministic RNG
+/// stream (`WmObtPartitionStreamSeed`), so partitions are order-independent
+/// and are sharded across `exec` when it carries a thread pool; offspring
+/// fitness inside a generation is evaluated in parallel too (evaluation is
+/// pure). Output is byte-identical at any thread count, including the
+/// default serial context.
 Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
-                     Rng& rng, WmObtStats* stats = nullptr);
+                     const ExecContext& exec = ExecContext{},
+                     WmObtStats* stats = nullptr);
+
+/// The pre-parallel serial embedding kept verbatim as the oracle/baseline:
+/// one caller-provided RNG stream shared across partitions in rank order,
+/// full-pass statistics and per-evaluation allocation inside the GA. The
+/// parallel path above is *statistically* equivalent (same GA, same
+/// operators, different stream layout), not byte-identical — see
+/// DESIGN.md §9 for the determinism contract.
+Histogram EmbedWmObtReference(const Histogram& original,
+                              const WmObtOptions& options, Rng& rng,
+                              WmObtStats* stats = nullptr);
 
 /// Recomputes the per-partition hiding statistics of `suspect` under the
 /// secret partitioning of `options` — the decode side of the scheme. Empty

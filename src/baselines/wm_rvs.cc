@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "crypto/sha256.h"
+#include "exec/thread_pool.h"
 
 namespace freqywm {
 namespace {
@@ -23,42 +24,84 @@ int64_t Pow10(int p) {
   return v;
 }
 
+/// The per-token embedding decision, pure in (token, count, key): either
+/// "leave alone" (`modify == false`) or the substituted count plus what
+/// the side-table needs to reverse it.
+struct RvsDecision {
+  bool modify = false;
+  int64_t modified = 0;
+  int digit_position = 0;
+  int original_digit = 0;
+};
+
+RvsDecision DecideEntry(const HistogramEntry& e, const WmRvsOptions& options) {
+  RvsDecision d;
+  uint64_t h = KeyedHash(e.token, options.key_seed, "wm-rvs:");
+  int pos = static_cast<int>(
+      h % static_cast<uint64_t>(options.max_digit_position + 1));
+  int bit_index =
+      static_cast<int>((h >> 8) % options.watermark_bits.size());
+  int bit = options.watermark_bits[static_cast<size_t>(bit_index)];
+
+  int64_t value = static_cast<int64_t>(e.count);
+  int64_t scale = Pow10(pos);
+  if (value < scale) return d;  // digit position does not exist
+
+  int original_digit = static_cast<int>((value / scale) % 10);
+  // Keyed substitution digit carrying the watermark bit: even digits
+  // encode 0, odd digits encode 1.
+  int candidate = static_cast<int>((h >> 16) % 10);
+  if ((candidate % 2) != bit) candidate = (candidate + 1) % 10;
+
+  int64_t modified =
+      value + static_cast<int64_t>(candidate - original_digit) * scale;
+  if (modified < 1) return d;  // keep counts positive
+
+  d.modify = true;
+  d.modified = modified;
+  d.digit_position = pos;
+  d.original_digit = original_digit;
+  return d;
+}
+
 }  // namespace
 
 Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
                      WmRvsSideTable* side_table) {
+  return EmbedWmRvs(original, options, side_table, ExecContext{});
+}
+
+Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
+                     WmRvsSideTable* side_table, const ExecContext& exec) {
   assert(!options.watermark_bits.empty());
+  const auto& entries = original.entries();
+
+  // Phase 1 — the keyed-hash decisions, one SHA-256 per entry, written by
+  // rank index (pure, so any thread may compute any entry).
+  std::vector<RvsDecision> decisions(entries.size());
+  auto decide = [&](size_t rank) {
+    decisions[rank] = DecideEntry(entries[rank], options);
+  };
+  if (exec.parallel() && entries.size() >= 256) {
+    exec.pool->ParallelFor(entries.size(), decide);
+  } else {
+    for (size_t rank = 0; rank < entries.size(); ++rank) decide(rank);
+  }
+
+  // Phase 2 — serial application in rank order, reproducing the serial
+  // path's count mutations and side-table order exactly.
   Histogram out = original;
   if (side_table) side_table->entries.clear();
-
-  for (const auto& e : original.entries()) {
-    uint64_t h = KeyedHash(e.token, options.key_seed, "wm-rvs:");
-    int pos = static_cast<int>(
-        h % static_cast<uint64_t>(options.max_digit_position + 1));
-    int bit_index = static_cast<int>(
-        (h >> 8) % options.watermark_bits.size());
-    int bit = options.watermark_bits[static_cast<size_t>(bit_index)];
-
-    int64_t value = static_cast<int64_t>(e.count);
-    int64_t scale = Pow10(pos);
-    if (value < scale) continue;  // digit position does not exist
-
-    int original_digit = static_cast<int>((value / scale) % 10);
-    // Keyed substitution digit carrying the watermark bit: even digits
-    // encode 0, odd digits encode 1.
-    int candidate = static_cast<int>((h >> 16) % 10);
-    if ((candidate % 2) != bit) candidate = (candidate + 1) % 10;
-
-    int64_t modified =
-        value + static_cast<int64_t>(candidate - original_digit) * scale;
-    if (modified < 1) continue;  // keep counts positive
-
-    Status s = out.SetCount(e.token, static_cast<uint64_t>(modified));
+  for (size_t rank = 0; rank < entries.size(); ++rank) {
+    const RvsDecision& d = decisions[rank];
+    if (!d.modify) continue;
+    Status s = out.SetCount(entries[rank].token,
+                            static_cast<uint64_t>(d.modified));
     assert(s.ok());
     (void)s;
     if (side_table) {
-      side_table->entries.push_back(
-          WmRvsSideTable::Entry{e.token, pos, original_digit});
+      side_table->entries.push_back(WmRvsSideTable::Entry{
+          entries[rank].token, d.digit_position, d.original_digit});
     }
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "core/detect.h"
 #include "data/histogram.h"
+#include "exec/exec_context.h"
 
 namespace freqywm {
 
@@ -40,6 +41,14 @@ struct WmRvsSideTable {
 /// `side_table` (optional) receives what is needed to reverse.
 Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
                      WmRvsSideTable* side_table = nullptr);
+
+/// Exec-aware variant: the per-token keyed-hash pass (one SHA-256 per
+/// entry, the only data-size-bound stage) fans out across `exec`; the
+/// substitutions and the side-table are applied serially in rank order, so
+/// output and side-table are byte-identical to the serial overload at any
+/// thread count.
+Histogram EmbedWmRvs(const Histogram& original, const WmRvsOptions& options,
+                     WmRvsSideTable* side_table, const ExecContext& exec);
 
 /// Restores the original histogram from a watermarked one and the
 /// side-table (the "reversible" property of the scheme).

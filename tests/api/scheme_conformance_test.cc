@@ -130,6 +130,30 @@ TEST_P(SchemeConformanceTest, EmptyHistogramFailsCleanly) {
   EXPECT_FALSE(scheme->Embed(Histogram()).ok());
 }
 
+TEST_P(SchemeConformanceTest, RefreshContractMatchesSupportsRefresh) {
+  Histogram original = MakeCleanHistogram(14);
+  auto scheme = MakeScheme(GetParam(), 48);
+  auto outcome = scheme->Embed(original);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  auto refreshed =
+      scheme->Refresh(outcome.value().watermarked, outcome.value().key);
+  if (!scheme->SupportsRefresh()) {
+    ASSERT_FALSE(refreshed.ok());
+    EXPECT_EQ(refreshed.status().code(), StatusCode::kNotSupported);
+    return;
+  }
+  // A supporting scheme must re-align its own un-drifted embedding and
+  // keep detection accepting under the refreshed key.
+  ASSERT_TRUE(refreshed.ok()) << GetParam() << ": " << refreshed.status();
+  DetectResult result = scheme->Detect(
+      refreshed.value().watermarked, refreshed.value().key,
+      scheme->RecommendedDetectOptions(refreshed.value().key));
+  EXPECT_TRUE(result.accepted)
+      << GetParam() << ": verified " << result.pairs_verified << " of "
+      << result.pairs_found << " after refresh";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllRegisteredSchemes, SchemeConformanceTest,
     ::testing::ValuesIn(SchemeFactory::RegisteredNames()),

@@ -1,0 +1,85 @@
+// WM-RVS refresh (ISSUE 4 satellite, DESIGN.md §6 scheme-parity gap):
+// the scheme is reversible/value-setting, so refresh after drift is a
+// re-embed under the key — every decodable token's keyed substitution
+// digit is written back, no explicit revert needed.
+
+#include "api/wm_rvs_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/power_law.h"
+
+namespace freqywm {
+namespace {
+
+Histogram MakeHist(uint64_t seed) {
+  Rng rng(seed);
+  PowerLawSpec spec;
+  spec.num_tokens = 300;
+  spec.sample_size = 200000;
+  spec.alpha = 0.6;
+  return GeneratePowerLawHistogram(spec, rng);
+}
+
+TEST(WmRvsRefreshTest, RealignsDriftedWatermark) {
+  WmRvsScheme scheme;
+  Histogram original = MakeHist(81);
+  auto outcome = scheme.Embed(original);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  DetectOptions d = scheme.RecommendedDetectOptions(outcome.value().key);
+
+  // Drift every count by +11: both candidate digit positions (ones and
+  // tens) shift, so most tokens stop carrying their substitution digit.
+  Histogram drifted = outcome.value().watermarked;
+  for (const auto& e : outcome.value().watermarked.entries()) {
+    ASSERT_TRUE(drifted.AddDelta(e.token, 11).ok());
+  }
+  DetectResult broken = scheme.Detect(drifted, outcome.value().key, d);
+  EXPECT_FALSE(broken.accepted)
+      << "drift left " << broken.verified_fraction << " verified";
+
+  auto refreshed = scheme.Refresh(drifted, outcome.value().key);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  // The digit key never rotates: the refreshed key is the input key, so
+  // escrowed copies of it keep working.
+  EXPECT_EQ(refreshed.value().key, outcome.value().key);
+
+  DetectResult realigned =
+      scheme.Detect(refreshed.value().watermarked, refreshed.value().key, d);
+  EXPECT_TRUE(realigned.accepted);
+  EXPECT_DOUBLE_EQ(realigned.verified_fraction, 1.0);
+  EXPECT_GT(refreshed.value().report.embedded_units, 0u);
+}
+
+TEST(WmRvsRefreshTest, IdempotentOnCleanEmbedding) {
+  WmRvsScheme scheme;
+  Histogram original = MakeHist(82);
+  auto outcome = scheme.Embed(original);
+  ASSERT_TRUE(outcome.ok());
+
+  auto refreshed =
+      scheme.Refresh(outcome.value().watermarked, outcome.value().key);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  // Re-embedding an already-aligned histogram writes the same digits.
+  EXPECT_TRUE(refreshed.value().watermarked.entries() ==
+              outcome.value().watermarked.entries());
+  EXPECT_EQ(refreshed.value().report.total_churn, 0u);
+}
+
+TEST(WmRvsRefreshTest, RejectsForeignOrMalformedKeys) {
+  WmRvsScheme scheme;
+  Histogram original = MakeHist(83);
+
+  SchemeKey foreign{"freqywm", "whatever"};
+  EXPECT_FALSE(scheme.Refresh(original, foreign).ok());
+
+  SchemeKey corrupt{"wm-rvs", "not a payload"};
+  EXPECT_FALSE(scheme.Refresh(original, corrupt).ok());
+
+  auto outcome = scheme.Embed(original);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(scheme.Refresh(Histogram(), outcome.value().key).ok());
+}
+
+}  // namespace
+}  // namespace freqywm

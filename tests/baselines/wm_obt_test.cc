@@ -28,8 +28,7 @@ WmObtOptions FastOptions() {
 
 TEST(WmObtTest, ProducesValidHistogram) {
   Histogram h = MakeHist(1);
-  Rng rng(1);
-  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  Histogram wm = EmbedWmObt(h, FastOptions());
   EXPECT_EQ(wm.num_tokens(), h.num_tokens());
   for (const auto& e : wm.entries()) EXPECT_GE(e.count, 1u);
 }
@@ -37,8 +36,7 @@ TEST(WmObtTest, ProducesValidHistogram) {
 TEST(WmObtTest, ChangesAreWithinConstraint) {
   Histogram h = MakeHist(2);
   WmObtOptions o = FastOptions();
-  Rng rng(2);
-  Histogram wm = EmbedWmObt(h, o, rng);
+  Histogram wm = EmbedWmObt(h, o);
   for (const auto& e : h.entries()) {
     double value = static_cast<double>(e.count);
     double delta = static_cast<double>(*wm.CountOf(e.token)) - value;
@@ -52,9 +50,8 @@ TEST(WmObtTest, EmbedsDecodableBits) {
   // statistic than partitions with bit 0 on average.
   Histogram h = MakeHist(3, 200, 200000);
   WmObtOptions o = FastOptions();
-  Rng rng(3);
   WmObtStats stats;
-  EmbedWmObt(h, o, rng, &stats);
+  EmbedWmObt(h, o, ExecContext{}, &stats);
   double stat1 = 0, stat0 = 0;
   int n1 = 0, n0 = 0;
   for (size_t p = 0; p < o.num_partitions; ++p) {
@@ -76,16 +73,14 @@ TEST(WmObtTest, DistortsMoreThanFreqyWmBudget) {
   // relative to FreqyWM's (which stays above 98% under b=2). The paper
   // measured 54.28% similarity for WM-OBT.
   Histogram h = MakeHist(4, 200, 200000);
-  Rng rng(4);
-  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  Histogram wm = EmbedWmObt(h, FastOptions());
   double sim = HistogramSimilarityPercent(h, wm);
   EXPECT_LT(sim, 98.0);  // far outside any FreqyWM budget
 }
 
 TEST(WmObtTest, BreaksRankingUnlikeFreqyWm) {
   Histogram h = MakeHist(5, 300, 100000);
-  Rng rng(5);
-  Histogram wm = EmbedWmObt(h, FastOptions(), rng);
+  Histogram wm = EmbedWmObt(h, FastOptions());
   RankComparison cmp = CompareRankings(h, wm);
   // The paper reports 998/1000 ranks changed; with a long tail of similar
   // counts, per-value changes up to +10 scramble many ranks.
@@ -95,9 +90,8 @@ TEST(WmObtTest, BreaksRankingUnlikeFreqyWm) {
 TEST(WmObtTest, PartitionStatisticsMatchEmbedReportedStats) {
   Histogram h = MakeHist(8, 200, 200000);
   WmObtOptions o = FastOptions();
-  Rng rng(8);
   WmObtStats stats;
-  Histogram wm = EmbedWmObt(h, o, rng, &stats);
+  Histogram wm = EmbedWmObt(h, o, ExecContext{}, &stats);
   std::vector<double> recomputed = WmObtPartitionStatistics(wm, o);
   ASSERT_EQ(recomputed.size(), o.num_partitions);
   for (size_t p = 0; p < o.num_partitions; ++p) {
@@ -109,8 +103,7 @@ TEST(WmObtTest, PartitionStatisticsMatchEmbedReportedStats) {
 TEST(WmObtTest, DetectSeparatesOwnKeyFromForeignKey) {
   Histogram h = MakeHist(9, 200, 200000);
   WmObtOptions o = FastOptions();
-  Rng rng(9);
-  Histogram wm = EmbedWmObt(h, o, rng);
+  Histogram wm = EmbedWmObt(h, o);
 
   // Calibrate a decode threshold between the two bit classes, as the
   // scheme wrapper does at embed time.
@@ -142,11 +135,57 @@ TEST(WmObtTest, DetectSeparatesOwnKeyFromForeignKey) {
 
 TEST(WmObtTest, DeterministicForSeed) {
   Histogram h = MakeHist(6);
-  Rng r1(7), r2(7);
-  Histogram a = EmbedWmObt(h, FastOptions(), r1);
-  Histogram b = EmbedWmObt(h, FastOptions(), r2);
+  Histogram a = EmbedWmObt(h, FastOptions());
+  Histogram b = EmbedWmObt(h, FastOptions());
   for (const auto& e : a.entries()) {
     EXPECT_EQ(b.CountOf(e.token), e.count);
+  }
+}
+
+TEST(WmObtTest, ReferencePathDeterministicForSeed) {
+  Histogram h = MakeHist(6);
+  Rng r1(7), r2(7);
+  Histogram a = EmbedWmObtReference(h, FastOptions(), r1);
+  Histogram b = EmbedWmObtReference(h, FastOptions(), r2);
+  for (const auto& e : a.entries()) {
+    EXPECT_EQ(b.CountOf(e.token), e.count);
+  }
+}
+
+// Regression (ISSUE 4 satellite): embed-time decode stats must use
+// `options.decode_threshold`, not the `WmObtStats` struct default — a
+// caller-tuned threshold previously disagreed between embed-side decode
+// and `DetectWmObt`.
+TEST(WmObtTest, EmbedStatsDecodeAgainstOptionsThreshold) {
+  Histogram h = MakeHist(10, 200, 200000);
+  WmObtOptions o = FastOptions();
+  o.decode_threshold = 2.0;  // above any statistic in [0, 1]
+
+  WmObtStats stats;
+  EmbedWmObt(h, o, ExecContext{}, &stats);
+  EXPECT_EQ(stats.decode_threshold, o.decode_threshold);
+  for (size_t p = 0; p < o.num_partitions; ++p) {
+    EXPECT_EQ(stats.decoded_bits[p], 0)
+        << "partition " << p << " decoded 1 against an unreachable threshold";
+  }
+
+  // The reference path honours the tuned threshold too.
+  Rng rng(10);
+  WmObtStats ref_stats;
+  EmbedWmObtReference(h, o, rng, &ref_stats);
+  EXPECT_EQ(ref_stats.decode_threshold, o.decode_threshold);
+  for (size_t p = 0; p < o.num_partitions; ++p) {
+    EXPECT_EQ(ref_stats.decoded_bits[p], 0);
+  }
+
+  // And a threshold below every statistic decodes all-ones on non-empty
+  // partitions — the stats really do follow the option.
+  o.decode_threshold = -1.0;
+  WmObtStats low;
+  EmbedWmObt(h, o, ExecContext{}, &low);
+  for (size_t p = 0; p < o.num_partitions; ++p) {
+    if (low.partition_statistic[p] <= 0.0) continue;  // possibly empty
+    EXPECT_EQ(low.decoded_bits[p], 1);
   }
 }
 
