@@ -14,13 +14,22 @@
 // and tests/exec/prepared_detect_test.cc). The 32-suspect x 8-key FreqyWM
 // section compares the PR 2 per-cell path (key parsed and every modulus
 // re-derived per cell) against the prepared-key engine, the before/after
-// counter behind the BENCH_batch_detect.json perf baseline. Speedups
-// depend on the machine; identity must hold everywhere — the process
-// exits non-zero on any mismatch (never on timing).
+// counter behind the BENCH_batch_detect.json perf baseline.
+//
+// The streaming section (ISSUE 5) measures the same 32 x 8 acceptance
+// matrix through `BatchDetector::Session`: the PR 3 prepared-key loop
+// (per-cell count gather by hashing into the suspect histogram) is the
+// "before" side; the dense-gather session with a shared `PreparedKeyCache`
+// (cold, then warm) is the "after". Chunked streams (1 and 8 suspects per
+// drain) must match the one-shot matrix element-wise; the results land in
+// BENCH_batch_detect_stream.json. Speedups depend on the machine;
+// identity must hold everywhere — the process exits non-zero on any
+// mismatch (never on timing).
 
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -125,6 +134,52 @@ std::vector<std::vector<DetectResult>> UnpreparedSerialMatrix(
   return results;
 }
 
+/// The PR 3 engine loop kept verbatim as the streaming section's "before"
+/// side: every key `Prepare`d once per run, then every cell runs the
+/// prepared *histogram-path* detect — one hash probe into the suspect per
+/// key token per cell. The dense-gather session replaces exactly this.
+std::vector<std::vector<DetectResult>> Pr3PreparedSerialMatrix(
+    const std::vector<Histogram>& suspects,
+    const std::vector<SchemeKey>& keys) {
+  SchemeCache cache;
+  std::vector<const WatermarkScheme*> key_scheme(keys.size(), nullptr);
+  std::vector<DetectOptions> key_options(keys.size());
+  std::vector<std::unique_ptr<PreparedKey>> prepared(keys.size());
+  for (size_t j = 0; j < keys.size(); ++j) {
+    key_scheme[j] = cache.Get(keys[j].scheme);
+    if (key_scheme[j] == nullptr) continue;
+    key_options[j] = key_scheme[j]->RecommendedDetectOptions(keys[j]);
+    prepared[j] = key_scheme[j]->Prepare(keys[j]);
+  }
+  std::vector<std::vector<DetectResult>> results(
+      suspects.size(), std::vector<DetectResult>(keys.size()));
+  for (size_t i = 0; i < suspects.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (key_scheme[j] == nullptr) continue;
+      results[i][j] = key_scheme[j]->Detect(suspects[i], *prepared[j],
+                                            key_options[j]);
+    }
+  }
+  return results;
+}
+
+/// Streams the suspects through a session `chunk` at a time and
+/// concatenates the drained rows.
+std::vector<std::vector<DetectResult>> StreamChunked(
+    BatchDetector::Session& session, const std::vector<Histogram>& suspects,
+    size_t chunk) {
+  std::vector<std::vector<DetectResult>> all;
+  for (size_t start = 0; start < suspects.size(); start += chunk) {
+    for (size_t i = start; i < std::min(start + chunk, suspects.size());
+         ++i) {
+      session.AddSuspect(suspects[i]);
+    }
+    auto rows = session.Drain();
+    for (auto& row : rows) all.push_back(std::move(row));
+  }
+  return all;
+}
+
 }  // namespace
 
 int main() {
@@ -226,6 +281,109 @@ int main() {
     first_row = false;
   }
   json << "], \"best_speedup\": " << best_speedup << "},\n";
+
+  // ------------------- ISSUE 5 acceptance: streaming session over the
+  // same 32 x 8 matrix — dense count gather + PreparedKeyCache vs the
+  // PR 3 prepared-key loop, single-core first (the acceptance counter),
+  // then across thread counts, chunkings and cache temperatures.
+  std::printf("\nstreaming session, dense gather + key cache "
+              "(32 suspects x 8 freqywm keys):\n");
+  std::vector<std::vector<DetectResult>> pr3_matrix;
+  double pr3_best = BestOfReps([&] {
+    pr3_matrix = Pr3PreparedSerialMatrix(fw_suspects, fw_keys);
+  });
+  bool pr3_identical = pr3_matrix == fw_reference;
+  // Section-local accumulator: the stream JSON must report *this*
+  // section's identity, not inherit a mismatch from the earlier matrices.
+  bool stream_identical = pr3_identical;
+  all_identical = all_identical && pr3_identical;
+  std::printf("%22s  %12.4f  %10.0f  %9s  %s\n", "before (PR 3 prepared)",
+              pr3_best, fw_cells / pr3_best, "1.00x",
+              pr3_identical ? "identical" : "MISMATCH");
+
+  std::ostringstream stream_json;
+  // hardware_threads contextualizes the thread rows: on a 1-core runner
+  // the >1-thread rows measure pool overhead, and the single-core speedup
+  // is the acceptance payload.
+  stream_json << "{\n  \"bench\": \"batch_detect_stream\",\n  \"reps\": "
+              << Reps() << ",\n  \"hardware_threads\": "
+              << ThreadPool::HardwareThreads()
+              << ",\n  \"suspects\": " << fw_suspects.size()
+              << ",\n  \"keys\": " << fw_keys.size()
+              << ",\n  \"pr3_prepared_seconds\": " << pr3_best << ",\n";
+
+  // Cold vs warm: the cold session pays Prepare through the cache, the
+  // warm ones find every key already prepared. Output must not notice.
+  auto shared_cache = std::make_shared<PreparedKeyCache>();
+  {
+    BatchDetectOptions opts;
+    opts.key_cache = shared_cache;
+    BatchDetector::Session cold_session(opts, fw_keys);
+    std::printf("%22s  vocabulary: %zu dense tokens, cache misses: %llu\n",
+                "session setup (cold)", cold_session.vocabulary_size(),
+                static_cast<unsigned long long>(
+                    shared_cache->stats().misses));
+    stream_json << "  \"vocabulary\": " << cold_session.vocabulary_size()
+                << ",\n";
+  }
+
+  double stream_best_speedup = 0.0;
+  stream_json << "  \"rows\": [";
+  first_row = true;
+  for (size_t threads : {1, 2, 4, 8}) {
+    BatchDetectOptions opts;
+    opts.num_threads = threads;
+    opts.key_cache = shared_cache;  // warm from here on
+    std::vector<std::vector<DetectResult>> one_shot;
+    double warm_best = BestOfReps([&] {
+      BatchDetector::Session session(opts, fw_keys);
+      one_shot = session.Detect(fw_suspects);
+    });
+    bool identical = one_shot == fw_reference;
+
+    // Chunked streams through one persistent session: byte-identical to
+    // the one-shot matrix at any chunk size.
+    BatchDetector::Session session(opts, fw_keys);
+    bool chunks_identical = true;
+    for (size_t chunk : {size_t{1}, size_t{8}}) {
+      chunks_identical = chunks_identical &&
+                         StreamChunked(session, fw_suspects, chunk) ==
+                             fw_reference;
+    }
+    identical = identical && chunks_identical;
+    stream_identical = stream_identical && identical;
+    all_identical = all_identical && identical;
+    if (threads == 1) {
+      stream_best_speedup = pr3_best / warm_best;
+    }
+    std::printf("%15zu thread  %12.4f  %10.0f  %8.2fx  %s\n", threads,
+                warm_best, fw_cells / warm_best, pr3_best / warm_best,
+                identical ? "identical (one-shot + chunked 1/8)"
+                          : "MISMATCH");
+    stream_json << (first_row ? "" : ", ") << "{\"threads\": " << threads
+                << ", \"warm_seconds\": " << warm_best
+                << ", \"speedup_vs_pr3\": " << pr3_best / warm_best
+                << ", \"chunked_identical\": "
+                << (chunks_identical ? "true" : "false")
+                << ", \"identical\": " << (identical ? "true" : "false")
+                << "}";
+    first_row = false;
+  }
+  PreparedKeyCacheStats cache_stats = shared_cache->stats();
+  std::printf("%22s  single-core speedup vs PR 3: %.2fx  "
+              "(cache: %llu hits / %llu misses)\n", "",
+              stream_best_speedup,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+  stream_json << "],\n  \"single_core_speedup_vs_pr3\": "
+              << stream_best_speedup
+              << ",\n  \"cache_hits\": " << cache_stats.hits
+              << ",\n  \"cache_misses\": " << cache_stats.misses
+              << ",\n  \"all_identical\": "
+              << (stream_identical ? "true" : "false") << "\n}\n";
+  bench::WriteJsonFile(
+      bench::JsonOutputPath("BENCH_batch_detect_stream.json"),
+      stream_json.str());
 
   // ------------------------------------------ sharded histogram build
   std::printf("\nsharded histogram build (parallel embed front end):\n");

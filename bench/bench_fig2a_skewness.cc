@@ -1,6 +1,9 @@
 // Reproduces Fig. 2a: number of chosen pairs vs dataset skewness alpha for
 // the optimal, greedy, and random selection strategies (b = 2, z = 1031,
-// 1K tokens, 1M samples).
+// 1K tokens, 1M samples) — through the unified `WatermarkScheme` API
+// (scheme "freqywm" via `SchemeFactory`), like every other converted
+// harness; `MeanEmbeddedUnits` keeps the pre-API seed recurrence so the
+// series stay comparable.
 //
 // Expected shape (paper): few pairs at alpha ~ 0 (near-uniform, no slack),
 // a rise through mid skewness, a drop after alpha ~ 0.7 as the tail turns
@@ -10,17 +13,14 @@
 #include "bench_common.h"
 
 namespace fb = freqywm::bench;
-using freqywm::GenerateOptions;
 using freqywm::Histogram;
-using freqywm::SelectionStrategy;
+using freqywm::OptionBag;
 
 int main() {
   fb::PrintBanner("Fig. 2a — chosen pairs vs skewness alpha",
                   "ICDE'24 FreqyWM Figure 2a (b=2, z=1031)");
   const double kAlphas[] = {0.05, 0.2, 0.5, 0.7, 0.9, 1.0};
-  const SelectionStrategy kStrategies[] = {SelectionStrategy::kOptimal,
-                                           SelectionStrategy::kGreedy,
-                                           SelectionStrategy::kRandom};
+  const char* kStrategies[] = {"optimal", "greedy", "random"};
   const int kReps = 3;
 
   std::printf("%-8s %-10s %-10s %-10s\n", "alpha", "optimal", "greedy",
@@ -29,9 +29,12 @@ int main() {
     Histogram hist = fb::MakeSynthetic(alpha, 42);
     double counts[3];
     for (int s = 0; s < 3; ++s) {
-      GenerateOptions o =
-          fb::MakeOptions(2.0, 1031, kStrategies[s], 1000 + s);
-      counts[s] = fb::MeanChosenPairs(hist, o, kReps);
+      OptionBag options;
+      options.Set("budget", "2.0");
+      options.Set("z", "1031");
+      options.Set("strategy", kStrategies[s]);
+      counts[s] = fb::MeanEmbeddedUnits(hist, "freqywm", options,
+                                        1000 + s, kReps);
     }
     std::printf("%-8.2f %-10.1f %-10.1f %-10.1f\n", alpha, counts[0],
                 counts[1], counts[2]);

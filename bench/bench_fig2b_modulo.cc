@@ -1,22 +1,24 @@
 // Reproduces Fig. 2b: number of chosen pairs vs the modulus bound z
-// (alpha = 0.7, b = 2). Expected shape: small z -> small remainders ->
-// many selectable pairs, with all three strategies close together; larger
-// z widens the optimal-vs-heuristic gap and shrinks pair counts.
+// (alpha = 0.7, b = 2) — through the unified `WatermarkScheme` API
+// (scheme "freqywm" via `SchemeFactory`), like every other converted
+// harness; `MeanEmbeddedUnits` keeps the pre-API seed recurrence so the
+// series stay comparable.
+//
+// Expected shape: small z -> small remainders -> many selectable pairs,
+// with all three strategies close together; larger z widens the
+// optimal-vs-heuristic gap and shrinks pair counts.
 
 #include "bench_common.h"
 
 namespace fb = freqywm::bench;
-using freqywm::GenerateOptions;
 using freqywm::Histogram;
-using freqywm::SelectionStrategy;
+using freqywm::OptionBag;
 
 int main() {
   fb::PrintBanner("Fig. 2b — chosen pairs vs modulus bound z",
                   "ICDE'24 FreqyWM Figure 2b (alpha=0.7, b=2)");
   const uint64_t kZs[] = {10, 131, 523, 1031, 2063};
-  const SelectionStrategy kStrategies[] = {SelectionStrategy::kOptimal,
-                                           SelectionStrategy::kGreedy,
-                                           SelectionStrategy::kRandom};
+  const char* kStrategies[] = {"optimal", "greedy", "random"};
   const int kReps = 3;
 
   Histogram hist = fb::MakeSynthetic(0.7, 42);
@@ -25,8 +27,12 @@ int main() {
   for (uint64_t z : kZs) {
     double counts[3];
     for (int s = 0; s < 3; ++s) {
-      GenerateOptions o = fb::MakeOptions(2.0, z, kStrategies[s], 2000 + s);
-      counts[s] = fb::MeanChosenPairs(hist, o, kReps);
+      OptionBag options;
+      options.Set("budget", "2.0");
+      options.Set("z", std::to_string(z));
+      options.Set("strategy", kStrategies[s]);
+      counts[s] = fb::MeanEmbeddedUnits(hist, "freqywm", options,
+                                        2000 + s, kReps);
     }
     std::printf("%-8llu %-10.1f %-10.1f %-10.1f\n",
                 static_cast<unsigned long long>(z), counts[0], counts[1],

@@ -1,9 +1,14 @@
 #include "analysis/registry.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "api/factory.h"
 #include "common/string_util.h"
@@ -14,6 +19,22 @@ namespace freqywm {
 namespace {
 constexpr char kMagicV1[] = "freqywm-registry v1";
 constexpr char kMagicV2[] = "freqywm-registry v2";
+
+/// Overflow-safe parse of a size field. The previous `std::stoull` threw
+/// an uncaught `std::out_of_range` on a 20+-digit count — malformed
+/// registry text could terminate the process instead of returning a
+/// status. Expects `text` to be digits-only (pre-checked by `IsInteger`
+/// plus a sign rejection).
+Result<size_t> ParseSizeField(const std::string& text, const char* what) {
+  errno = 0;
+  uint64_t value = std::strtoull(text.c_str(), nullptr, 10);
+  if (errno == ERANGE ||
+      value > std::numeric_limits<size_t>::max()) {  // 32-bit size_t
+    return Status::InvalidArgument(std::string(what) + " '" + text +
+                                   "' overflows this build's size_t");
+  }
+  return static_cast<size_t>(value);
+}
 
 void SortStrongestFirst(std::vector<TraceMatch>& matches) {
   std::stable_sort(matches.begin(), matches.end(),
@@ -35,11 +56,9 @@ Status FingerprintRegistry::Register(const std::string& buyer_id,
     return Status::InvalidArgument(
         "scheme tag must be non-empty without whitespace");
   }
-  for (const auto& r : records_) {
-    if (r.buyer_id == buyer_id) {
-      return Status::InvalidArgument("buyer '" + buyer_id +
-                                     "' already registered");
-    }
+  if (!buyer_ids_.insert(buyer_id).second) {
+    return Status::InvalidArgument("buyer '" + buyer_id +
+                                   "' already registered");
   }
   records_.push_back(FingerprintRecord{buyer_id, std::move(key)});
   return Status::OK();
@@ -104,8 +123,9 @@ std::vector<std::vector<TraceMatch>> FingerprintRegistry::TraceSuspects(
   batch.num_threads = options.num_threads;
   batch.use_recommended_options = options.use_recommended_options;
   batch.detect_options = options.detect_options;
+  batch.key_cache = options.key_cache;
   std::vector<std::vector<DetectResult>> detections =
-      BatchDetector(batch).Run(suspects, keys);
+      BatchDetector(batch).Run(suspects, std::move(keys));
 
   // Reduce each suspect's row exactly as the serial trace does: keep the
   // accepted records in registration order, then sort strongest first
@@ -157,10 +177,12 @@ Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
   }
   std::vector<std::string> head =
       Split(std::string(StripWhitespace(line)), ' ');
-  if (head.size() != 2 || head[0] != "records" || !IsInteger(head[1])) {
+  if (head.size() != 2 || head[0] != "records" || !IsInteger(head[1]) ||
+      head[1][0] == '-' || head[1][0] == '+') {
     return Status::Corruption("malformed records line");
   }
-  size_t n = std::stoull(head[1]);
+  FREQYWM_ASSIGN_OR_RETURN(size_t n,
+                           ParseSizeField(head[1], "records count"));
 
   FingerprintRegistry registry;
   for (size_t i = 0; i < n; ++i) {
@@ -172,10 +194,11 @@ Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
     std::vector<std::string> parts = Split(line, ' ');
     size_t min_parts = v1 ? 3 : 4;
     if (parts.size() < min_parts || parts[0] != "buyer" ||
-        !IsInteger(parts[1]) || parts[1][0] == '-') {
+        !IsInteger(parts[1]) || parts[1][0] == '-' || parts[1][0] == '+') {
       return Status::Corruption("malformed buyer line");
     }
-    size_t payload_size = std::stoull(parts[1]);
+    FREQYWM_ASSIGN_OR_RETURN(size_t payload_size,
+                             ParseSizeField(parts[1], "payload size"));
     std::string scheme = v1 ? "freqywm" : parts[2];
     size_t id_offset = parts[0].size() + 1 + parts[1].size() + 1;
     if (!v1) id_offset += parts[2].size() + 1;
@@ -211,6 +234,19 @@ Result<FingerprintRegistry> FingerprintRegistry::Deserialize(
     }
     FREQYWM_RETURN_NOT_OK(
         registry.Register(buyer_id, SchemeKey{scheme, std::move(payload)}));
+  }
+
+  // Round-trip hardening (ISSUE 5): anything after the declared records
+  // was previously accepted and silently dropped — an undercounting
+  // `records` header would make Deserialize(Serialize(x)) lossy without a
+  // whisper. Only trailing whitespace (the serializer's final newline) is
+  // legitimate.
+  char trailing;
+  while (in.get(trailing)) {
+    if (!std::isspace(static_cast<unsigned char>(trailing))) {
+      return Status::InvalidArgument(
+          "trailing data after the declared records");
+    }
   }
   return registry;
 }

@@ -1,7 +1,9 @@
 #ifndef FREQYWM_ANALYSIS_REGISTRY_H_
 #define FREQYWM_ANALYSIS_REGISTRY_H_
 
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "api/scheme.h"
@@ -11,6 +13,8 @@
 #include "data/histogram.h"
 
 namespace freqywm {
+
+class PreparedKeyCache;  // exec/prepared_key_cache.h
 
 /// One escrowed fingerprint: a buyer identity and the scheme-tagged key of
 /// the watermark embedded in that buyer's copy. Buyers of the same asset
@@ -48,6 +52,14 @@ struct TraceOptions {
   /// (the fixed-options `Trace` semantics).
   bool use_recommended_options = true;
   DetectOptions detect_options;
+
+  /// Optional shared `PreparedKey` cache (DESIGN.md §10): successive
+  /// `TraceSuspects` batches over the same escrowed keys then skip key
+  /// parsing and modulus derivation entirely — preparation is paid once
+  /// per key lifetime, the per-tenant caching the batch-detection service
+  /// needs. Null → keys are prepared privately per call. Results are
+  /// identical either way.
+  std::shared_ptr<PreparedKeyCache> key_cache;
 };
 
 /// The immutable escrow index from the paper's introduction: a seller (or
@@ -106,11 +118,20 @@ class FingerprintRegistry {
   std::string Serialize() const;
 
   /// Parses the output of `Serialize`. Accepts both the current v2 format
-  /// and the legacy v1 format (untagged FreqyWM secrets).
+  /// and the legacy v1 format (untagged FreqyWM secrets). Rejects
+  /// duplicate buyer ids with `InvalidArgument` (like `Register`),
+  /// byte-level damage with `Corruption`, and — since the ISSUE 5
+  /// round-trip hardening — text whose `records` header undercounts the
+  /// records present (`InvalidArgument`: trailing data would be silently
+  /// dropped by a round trip) or whose size fields overflow `uint64`.
   static Result<FingerprintRegistry> Deserialize(const std::string& text);
 
  private:
   std::vector<FingerprintRecord> records_;
+  /// Registered ids, for O(1) duplicate rejection — `Register` stays
+  /// linear-free at registry scale (a million escrowed buyers would
+  /// otherwise make registration, and thus `Deserialize`, quadratic).
+  std::unordered_set<std::string> buyer_ids_;
 };
 
 }  // namespace freqywm

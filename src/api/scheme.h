@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "core/detect.h"
@@ -75,6 +76,18 @@ struct DatasetEmbedOutcome {
   EmbedReport report;
 };
 
+/// A suspect histogram scattered into dense token ids (DESIGN.md §10): the
+/// batch engine interns the union of its keys' `TokenVocabulary`s into ids
+/// `[0, vocab_size)` once per session, then writes each suspect's counts
+/// into one flat array — `counts[id]` is valid iff `present[id]` is
+/// non-zero. A detection cell reads counts by index instead of hashing
+/// into the suspect histogram per key token. Both pointers are non-null
+/// and sized to the session vocabulary; the view never owns the storage.
+struct DenseSuspectCounts {
+  const uint64_t* counts = nullptr;
+  const uint8_t* present = nullptr;
+};
+
 /// Opaque per-key detection state returned by `WatermarkScheme::Prepare`:
 /// everything about a key that detection reuses across suspects (parsed
 /// payload, derived moduli, ...), paid once per key instead of once per
@@ -82,7 +95,12 @@ struct DatasetEmbedOutcome {
 /// key-side state subclass it (DESIGN.md §8).
 ///
 /// Instances are immutable after `Prepare` and safe to share across
-/// threads, matching the `Detect`-is-stateless contract.
+/// threads, matching the `Detect`-is-stateless contract. Prepared state
+/// must be a pure function of the `SchemeKey` alone — never of the
+/// preparing instance's embed-side configuration — so instances are
+/// shareable across runs, sessions and tenants through the
+/// `PreparedKeyCache` (DESIGN.md §10); every in-tree `Prepare` only parses
+/// the key payload.
 class PreparedKey {
  public:
   explicit PreparedKey(SchemeKey key) : key_(std::move(key)) {}
@@ -90,6 +108,21 @@ class PreparedKey {
 
   /// The key this state was derived from.
   const SchemeKey& key() const { return key_; }
+
+  /// The key's token vocabulary: the distinct tokens whose suspect-side
+  /// counts detection reads, enabling the batch engine's dense count
+  /// gather (DESIGN.md §10). Returns nullptr when detection scans the
+  /// whole suspect histogram instead of a key-determined token set (WM-OBT
+  /// partition statistics, WM-RVS per-token digits) or when the key is
+  /// malformed — the engine then falls back to the histogram-path
+  /// `Detect`. When non-null, the owning scheme must override the
+  /// dense-counts `Detect` overload, the vector must stay valid and
+  /// unchanged for the lifetime of this object, and for counts scattered
+  /// from a suspect the dense overload must be byte-identical to
+  /// `Detect(suspect, *this, options)`.
+  virtual const std::vector<Token>* TokenVocabulary() const {
+    return nullptr;
+  }
 
  private:
   SchemeKey key_;
@@ -173,6 +206,22 @@ class WatermarkScheme {
   /// from a different scheme degrades to the key-parsing path (which
   /// rejects a foreign key), never crashes.
   virtual DetectResult Detect(const Histogram& suspect,
+                              const PreparedKey& prepared,
+                              const DetectOptions& options) const;
+
+  /// Dense-gather detection (DESIGN.md §10): `dense_ids[t]` maps index `t`
+  /// of `prepared.TokenVocabulary()` to an id in `counts`. The batch
+  /// engine calls this only when the vocabulary is non-null, after
+  /// scattering the suspect histogram into `counts` once for all keys.
+  ///
+  /// Contract: byte-identical to `Detect(suspect, prepared, options)`
+  /// whenever `counts` was scattered from `suspect` over a vocabulary
+  /// union containing the key's tokens. Schemes returning a non-null
+  /// `TokenVocabulary` must override this; the default (for schemes whose
+  /// detection scans the whole suspect and for foreign `prepared` objects)
+  /// rejects.
+  virtual DetectResult Detect(const DenseSuspectCounts& counts,
+                              const uint32_t* dense_ids,
                               const PreparedKey& prepared,
                               const DetectOptions& options) const;
 

@@ -46,29 +46,26 @@ PairModulusTable PairModulusTable::Build(const WatermarkSecrets& secrets) {
   return table;
 }
 
-DetectResult DetectWatermark(const Histogram& suspect,
-                             const PairModulusTable& table,
+namespace {
+
+/// The shared pair loop of every table-backed detection path. `has(t)` /
+/// `count(t)` read the suspect-side presence and count of table token `t`;
+/// the histogram and dense-count overloads below differ only in how those
+/// lookups resolve, so their arithmetic — and therefore their output — is
+/// identical by construction.
+template <typename HasCount, typename CountAt>
+DetectResult DetectOverTable(const PairModulusTable& table,
+                             const HasCount& has, const CountAt& count,
                              const DetectOptions& options) {
   DetectResult out;
   if (!table.valid()) return out;
 
-  // Gather each distinct token's suspect-side count once per call; the
-  // pair loop below is then pure arithmetic over the cached counts and
-  // the table's precomputed moduli.
-  const std::vector<Token>& tokens = table.tokens();
-  std::vector<std::optional<uint64_t>> counts(tokens.size());
-  for (size_t t = 0; t < tokens.size(); ++t) {
-    counts[t] = suspect.CountOf(tokens[t]);
-  }
-
   for (const PairModulusTable::PairEntry& pair : table.pairs()) {
-    const auto& ci = counts[pair.token_i];
-    const auto& cj = counts[pair.token_j];
-    if (!ci || !cj) continue;
+    if (!has(pair.token_i) || !has(pair.token_j)) continue;
     ++out.pairs_found;
 
-    double fi = static_cast<double>(*ci);
-    double fj = static_cast<double>(*cj);
+    double fi = static_cast<double>(count(pair.token_i));
+    double fj = static_cast<double>(count(pair.token_j));
     if (options.rescale_factor > 0.0) {
       fi = std::llround(fi * options.rescale_factor);
       fj = std::llround(fj * options.rescale_factor);
@@ -98,6 +95,36 @@ DetectResult DetectWatermark(const Histogram& suspect,
       static_cast<double>(table.num_pairs());
   out.accepted = out.pairs_verified >= options.min_pairs;
   return out;
+}
+
+}  // namespace
+
+DetectResult DetectWatermark(const Histogram& suspect,
+                             const PairModulusTable& table,
+                             const DetectOptions& options) {
+  if (!table.valid()) return DetectResult{};
+
+  // Gather each distinct token's suspect-side count once per call; the
+  // pair loop is then pure arithmetic over the cached counts and the
+  // table's precomputed moduli.
+  const std::vector<Token>& tokens = table.tokens();
+  std::vector<std::optional<uint64_t>> counts(tokens.size());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    counts[t] = suspect.CountOf(tokens[t]);
+  }
+
+  return DetectOverTable(
+      table, [&](uint32_t t) { return counts[t].has_value(); },
+      [&](uint32_t t) { return *counts[t]; }, options);
+}
+
+DetectResult DetectWatermark(const PairModulusTable& table,
+                             const uint32_t* dense_ids,
+                             const uint64_t* counts, const uint8_t* present,
+                             const DetectOptions& options) {
+  return DetectOverTable(
+      table, [&](uint32_t t) { return present[dense_ids[t]] != 0; },
+      [&](uint32_t t) { return counts[dense_ids[t]]; }, options);
 }
 
 DetectResult DetectWatermark(const Histogram& suspect,

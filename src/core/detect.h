@@ -101,6 +101,19 @@ DetectResult DetectWatermark(const Histogram& suspect,
                              const PairModulusTable& table,
                              const DetectOptions& options);
 
+/// Dense-count detection (DESIGN.md §10): the per-suspect count gather is
+/// hoisted out entirely. `dense_ids[t]` maps table token `t` into the
+/// caller's flat arrays — `counts[dense_ids[t]]` is the suspect count of
+/// `table.tokens()[t]`, valid iff `present[dense_ids[t]]` is non-zero. The
+/// batch engine scatters each suspect histogram once for *all* keys, so a
+/// matrix cell costs zero hash probes. Byte-identical to the histogram
+/// overload when the arrays were scattered from the suspect (enforced by
+/// `tests/exec/batch_session_test.cc`).
+DetectResult DetectWatermark(const PairModulusTable& table,
+                             const uint32_t* dense_ids,
+                             const uint64_t* counts, const uint8_t* present,
+                             const DetectOptions& options);
+
 /// Convenience overload building the histogram from a raw dataset.
 DetectResult DetectWatermark(const Dataset& suspect,
                              const WatermarkSecrets& secrets,

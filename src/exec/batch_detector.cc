@@ -1,72 +1,192 @@
 #include "exec/batch_detector.h"
 
-#include <map>
-#include <memory>
-#include <string>
+#include <limits>
 #include <utility>
-
-#include "api/factory.h"
 
 namespace freqywm {
 
 BatchDetector::BatchDetector(BatchDetectOptions options)
     : options_(std::move(options)) {}
 
-std::vector<std::vector<DetectResult>> BatchDetector::Run(
-    const std::vector<Histogram>& suspects,
-    const std::vector<SchemeKey>& keys) const {
-  if (options_.num_threads <= 1) return Run(suspects, keys, nullptr);
-  // num_threads is the *total* parallelism; the submitting thread helps
-  // inside ParallelFor, so the pool needs one worker fewer.
-  ThreadPool pool(options_.num_threads - 1);
-  return Run(suspects, keys, &pool);
+// ---------------------------------------------------------------- Session
+
+BatchDetector::Session::Session(BatchDetectOptions options,
+                                std::vector<SchemeKey> keys)
+    : options_(std::move(options)), keys_(std::move(keys)) {
+  if (options_.num_threads > 1) {
+    // num_threads is the *total* parallelism; the submitting thread helps
+    // inside ParallelFor, so the pool needs one worker fewer.
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+    pool_ = owned_pool_.get();
+  }
+  PrepareKeys();
 }
 
-std::vector<std::vector<DetectResult>> BatchDetector::Run(
-    const std::vector<Histogram>& suspects,
-    const std::vector<SchemeKey>& keys, ThreadPool* pool) const {
-  std::vector<std::vector<DetectResult>> results(
-      suspects.size(), std::vector<DetectResult>(keys.size()));
-  if (suspects.empty() || keys.empty()) return results;
+BatchDetector::Session::Session(BatchDetectOptions options,
+                                std::vector<SchemeKey> keys,
+                                ThreadPool* borrowed_pool)
+    : options_(std::move(options)), keys_(std::move(keys)),
+      pool_(borrowed_pool) {
+  PrepareKeys();
+}
 
+void BatchDetector::Session::PrepareKeys() {
   // One scheme per distinct tag (the same `SchemeCache` the serial
-  // registry trace uses), populated up front on the calling thread so the
-  // parallel phase only reads. Per-key detection settings and the
-  // per-key prepared state (parsed payload, FreqyWM's modulus table) are
-  // likewise resolved serially — key parsing and keyed-hash derivation are
-  // paid once per key, not once per cell, and stay off the hot loop and
-  // deterministic regardless of scheduling.
-  SchemeCache cache;
-  std::vector<const WatermarkScheme*> key_scheme(keys.size(), nullptr);
-  std::vector<DetectOptions> key_options(keys.size());
-  std::vector<std::unique_ptr<PreparedKey>> prepared(keys.size());
-  for (size_t j = 0; j < keys.size(); ++j) {
-    key_scheme[j] = cache.Get(keys[j].scheme);
-    if (key_scheme[j] == nullptr) continue;
-    key_options[j] = options_.use_recommended_options
-                         ? key_scheme[j]->RecommendedDetectOptions(keys[j])
-                         : options_.detect_options;
-    prepared[j] = key_scheme[j]->Prepare(keys[j]);
+  // registry trace uses), populated on the constructing thread so `Drain`
+  // only reads. Per-key detection settings, prepared state and dense id
+  // maps are likewise resolved here — once per session, not per chunk —
+  // and stay deterministic regardless of scheduling. Prepared state goes
+  // through the shared cache when one is configured, so keys already
+  // prepared by an earlier session (or another tenant) cost a lookup.
+  key_scheme_.assign(keys_.size(), nullptr);
+  key_options_.assign(keys_.size(), DetectOptions{});
+  prepared_.assign(keys_.size(), nullptr);
+  dense_ids_.assign(keys_.size(), {});
+  for (size_t j = 0; j < keys_.size(); ++j) {
+    const WatermarkScheme* scheme = schemes_.Get(keys_[j].scheme);
+    key_scheme_[j] = scheme;
+    if (scheme == nullptr) continue;  // unregistered tag → rejected cells
+    key_options_[j] = options_.use_recommended_options
+                          ? scheme->RecommendedDetectOptions(keys_[j])
+                          : options_.detect_options;
+    prepared_[j] = options_.key_cache != nullptr
+                       ? options_.key_cache->GetOrPrepare(*scheme, keys_[j])
+                       : std::shared_ptr<const PreparedKey>(
+                             scheme->Prepare(keys_[j]));
+
+    // Union the key's vocabulary into the session interner. Dense ids are
+    // uint32_t; a union beyond 2^32 distinct tokens is far past any
+    // realistic registry (it would not fit in memory), but degrade to the
+    // histogram path rather than overflow if it ever happens.
+    const std::vector<Token>* vocab = prepared_[j]->TokenVocabulary();
+    if (vocab == nullptr || vocab->empty()) continue;
+    if (vocab_.size() + vocab->size() >
+        std::numeric_limits<uint32_t>::max()) {
+      continue;
+    }
+    dense_ids_[j].reserve(vocab->size());
+    for (const Token& token : *vocab) {
+      auto [it, inserted] =
+          vocab_index_.emplace(token, static_cast<uint32_t>(vocab_.size()));
+      if (inserted) vocab_.push_back(token);
+      dense_ids_[j].push_back(it->second);
+    }
+  }
+}
+
+void BatchDetector::Session::ScatterSuspect(const Histogram& suspect,
+                                            uint64_t* counts,
+                                            uint8_t* present) const {
+  // Either direction fills the same arrays — the intersection of the
+  // suspect's tokens with the union vocabulary — so the choice is purely
+  // a cost call: one hash probe per token on the smaller side.
+  if (suspect.num_tokens() < vocab_.size()) {
+    for (const HistogramEntry& entry : suspect.entries()) {
+      auto it = vocab_index_.find(entry.token);
+      if (it == vocab_index_.end()) continue;
+      counts[it->second] = entry.count;
+      present[it->second] = 1;
+    }
+  } else {
+    for (size_t id = 0; id < vocab_.size(); ++id) {
+      auto count = suspect.CountOf(vocab_[id]);
+      if (!count) continue;
+      counts[id] = *count;
+      present[id] = 1;
+    }
+  }
+}
+
+void BatchDetector::Session::AddSuspect(Histogram suspect) {
+  pending_.push_back(std::move(suspect));
+}
+
+void BatchDetector::Session::AddSuspects(std::vector<Histogram> suspects) {
+  for (Histogram& suspect : suspects) {
+    pending_.push_back(std::move(suspect));
+  }
+}
+
+std::vector<std::vector<DetectResult>> BatchDetector::Session::Drain() {
+  std::vector<std::vector<DetectResult>> results = Detect(pending_);
+  pending_.clear();
+  return results;
+}
+
+std::vector<std::vector<DetectResult>> BatchDetector::Session::Detect(
+    const std::vector<Histogram>& suspects) const {
+  std::vector<std::vector<DetectResult>> results(
+      suspects.size(), std::vector<DetectResult>(keys_.size()));
+  if (suspects.empty() || keys_.empty()) return results;
+
+  const bool parallel = pool_ != nullptr && pool_->num_threads() > 0;
+
+  // Phase 1 — scatter: each suspect's counts land in one flat array,
+  // indexed by dense id, built once for *all* keys (suspects are
+  // independent, so the phase shards by suspect). Skipped entirely when no
+  // key exposes a vocabulary.
+  std::vector<std::vector<uint64_t>> flat_counts(suspects.size());
+  std::vector<std::vector<uint8_t>> flat_present(suspects.size());
+  if (!vocab_.empty()) {
+    auto scatter = [&](size_t i) {
+      flat_counts[i].assign(vocab_.size(), 0);
+      flat_present[i].assign(vocab_.size(), 0);
+      ScatterSuspect(suspects[i], flat_counts[i].data(),
+                     flat_present[i].data());
+    };
+    if (parallel) {
+      pool_->ParallelFor(suspects.size(), scatter);
+    } else {
+      for (size_t i = 0; i < suspects.size(); ++i) scatter(i);
+    }
   }
 
+  // Phase 2 — the matrix: vocabulary keys read counts by index (zero hash
+  // probes per cell), whole-histogram schemes keep the prepared
+  // histogram path. Each cell depends only on (suspect, key, options), so
+  // any schedule yields identical results.
   auto detect_cell = [&](size_t i, size_t j) {
-    if (key_scheme[j] == nullptr) return;  // unregistered tag → rejected
-    results[i][j] = key_scheme[j]->Detect(suspects[i], *prepared[j],
-                                          key_options[j]);
+    const WatermarkScheme* scheme = key_scheme_[j];
+    if (scheme == nullptr) return;  // unregistered tag → rejected
+    if (!dense_ids_[j].empty()) {
+      DenseSuspectCounts dense{flat_counts[i].data(),
+                               flat_present[i].data()};
+      results[i][j] = scheme->Detect(dense, dense_ids_[j].data(),
+                                     *prepared_[j], key_options_[j]);
+    } else {
+      results[i][j] =
+          scheme->Detect(suspects[i], *prepared_[j], key_options_[j]);
+    }
   };
 
-  if (pool == nullptr || pool->num_threads() == 0) {
+  if (!parallel) {
     for (size_t i = 0; i < suspects.size(); ++i) {
-      for (size_t j = 0; j < keys.size(); ++j) detect_cell(i, j);
+      for (size_t j = 0; j < keys_.size(); ++j) detect_cell(i, j);
     }
     return results;
   }
 
-  const size_t cells = suspects.size() * keys.size();
-  pool->ParallelFor(cells, [&](size_t c) {
-    detect_cell(c / keys.size(), c % keys.size());
+  const size_t cells = suspects.size() * keys_.size();
+  pool_->ParallelFor(cells, [&](size_t c) {
+    detect_cell(c / keys_.size(), c % keys_.size());
   });
   return results;
+}
+
+// ------------------------------------------------------------------- Run
+
+std::vector<std::vector<DetectResult>> BatchDetector::Run(
+    const std::vector<Histogram>& suspects,
+    std::vector<SchemeKey> keys) const {
+  Session session(options_, std::move(keys));
+  return session.Detect(suspects);
+}
+
+std::vector<std::vector<DetectResult>> BatchDetector::Run(
+    const std::vector<Histogram>& suspects, std::vector<SchemeKey> keys,
+    ThreadPool* pool) const {
+  Session session(options_, std::move(keys), pool);
+  return session.Detect(suspects);
 }
 
 }  // namespace freqywm

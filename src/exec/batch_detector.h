@@ -2,12 +2,17 @@
 #define FREQYWM_EXEC_BATCH_DETECTOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "api/factory.h"
 #include "api/scheme.h"
 #include "core/detect.h"
 #include "core/options.h"
 #include "data/histogram.h"
+#include "exec/prepared_key_cache.h"
 #include "exec/thread_pool.h"
 
 namespace freqywm {
@@ -26,9 +31,16 @@ struct BatchDetectOptions {
 
   /// Fixed per-cell settings, used when `use_recommended_options` is false.
   DetectOptions detect_options;
+
+  /// Optional shared `PreparedKey` cache (DESIGN.md §10). When set, runs
+  /// and sessions resolve their keys through it, so preparation is paid
+  /// once per key *lifetime* — across batches, sessions and tenants — not
+  /// once per `Run`. When null, keys are prepared privately. Cache state
+  /// (cold, warm, evicted) never changes detection output.
+  std::shared_ptr<PreparedKeyCache> key_cache;
 };
 
-/// The batch detection engine (DESIGN.md §7): evaluates the full
+/// The batch detection engine (DESIGN.md §7, §10): evaluates the full
 /// |suspects| × |keys| matrix of `WatermarkScheme::Detect` calls — the
 /// marketplace workload where one owner traces many suspect copies against
 /// many escrowed keys.
@@ -36,33 +48,116 @@ struct BatchDetectOptions {
 /// Scheme instances are created once per distinct key tag and shared
 /// across threads (`Detect` is const and stateless for every in-tree
 /// scheme; out-of-tree schemes joining the factory must keep it so). Each
-/// key is additionally `Prepare`d once up front — key parsing and keyed
-/// modulus derivation (FreqyWM's `PairModulusTable`) are paid |keys|
-/// times, not |suspects| × |keys| times (DESIGN.md §8). Keys whose scheme
-/// tag is not registered yield a default (rejected) `DetectResult`,
-/// matching the serial `FingerprintRegistry::Trace` convention of
-/// skipping them.
+/// key is `Prepare`d once up front — through the shared `key_cache` when
+/// one is configured — and keys exposing a `TokenVocabulary` run through
+/// the dense count gather: the union vocabulary is interned into dense ids,
+/// each suspect histogram is scattered into a flat count vector once, and
+/// every matrix cell then reads counts by index — zero hash probes per
+/// cell (DESIGN.md §10). Keys whose scheme tag is not registered yield a
+/// default (rejected) `DetectResult`, matching the serial
+/// `FingerprintRegistry::Trace` convention of skipping them.
 ///
 /// Determinism contract: `result[i][j]` depends only on
-/// `(suspects[i], keys[j], options)` — never on thread count or schedule —
-/// so the parallel output is element-wise identical to the serial path
-/// (enforced for every registered scheme by
-/// `tests/exec/batch_detector_test.cc`).
+/// `(suspects[i], keys[j], options)` — never on thread count, schedule,
+/// chunking or cache state — so every configuration is element-wise
+/// identical to the serial path (enforced for every registered scheme by
+/// `tests/exec/batch_detector_test.cc` and
+/// `tests/exec/batch_session_test.cc`).
 class BatchDetector {
  public:
   explicit BatchDetector(BatchDetectOptions options = {});
 
+  /// A streaming detection session: the key column is fixed once, and
+  /// suspect chunks arrive incrementally — the shape of the ROADMAP's
+  /// batch-detection service, where escrowed buyer keys are long-lived and
+  /// surfaced suspect copies trickle in. The session holds the expensive
+  /// state across chunks: the thread pool, the prepared keys (resolved
+  /// through the shared `PreparedKeyCache` when configured, so a later
+  /// session over the same keys starts warm), and the dense-gather
+  /// interner with the per-key dense id maps.
+  ///
+  /// `Drain` output is element-wise identical to a one-shot `Run` over the
+  /// concatenated chunks, for any chunking, thread count and cache state.
+  ///
+  /// Not thread-safe itself: one session is driven by one caller (the
+  /// parallelism lives inside `Drain`). Prepared keys resolved at
+  /// construction are pinned for the session's lifetime — cache evictions
+  /// never invalidate them.
+  class Session {
+   public:
+    /// Creates a session over `keys`, owning a thread pool when
+    /// `options.num_threads > 1` (the pool persists across chunks).
+    Session(BatchDetectOptions options, std::vector<SchemeKey> keys);
+
+    /// Like above, but borrows `pool` (may be null → serial) instead of
+    /// creating one. The pool must outlive the session.
+    Session(BatchDetectOptions options, std::vector<SchemeKey> keys,
+            ThreadPool* borrowed_pool);
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Enqueues suspects for the next `Drain`, preserving arrival order.
+    void AddSuspect(Histogram suspect);
+    void AddSuspects(std::vector<Histogram> suspects);
+
+    /// Suspects enqueued since the last `Drain`.
+    size_t pending_suspects() const { return pending_.size(); }
+
+    /// Detects every pending suspect against the key column and clears
+    /// the queue. Row order equals arrival order.
+    std::vector<std::vector<DetectResult>> Drain();
+
+    /// One-shot detection of `suspects` against the key column, without
+    /// touching the pending queue. `Run` is implemented on top of this.
+    std::vector<std::vector<DetectResult>> Detect(
+        const std::vector<Histogram>& suspects) const;
+
+    const std::vector<SchemeKey>& keys() const { return keys_; }
+
+    /// Size of the interned union vocabulary (0 when no key exposes one).
+    size_t vocabulary_size() const { return vocab_.size(); }
+
+   private:
+    void PrepareKeys();
+    /// Scatters `suspect` into flat per-vocabulary-id arrays, probing
+    /// whichever side (suspect histogram vs union vocabulary) is smaller;
+    /// both directions fill identical arrays.
+    void ScatterSuspect(const Histogram& suspect, uint64_t* counts,
+                        uint8_t* present) const;
+
+    BatchDetectOptions options_;
+    std::vector<SchemeKey> keys_;
+    SchemeCache schemes_;
+    std::vector<const WatermarkScheme*> key_scheme_;
+    std::vector<DetectOptions> key_options_;
+    std::vector<std::shared_ptr<const PreparedKey>> prepared_;
+
+    /// Dense-gather state: the union of the keys' vocabularies interned
+    /// into ids `[0, vocab_.size())`, and per key the map from its
+    /// vocabulary index to the dense id (empty → histogram-path key).
+    std::vector<Token> vocab_;
+    std::unordered_map<Token, uint32_t> vocab_index_;
+    std::vector<std::vector<uint32_t>> dense_ids_;
+
+    std::vector<Histogram> pending_;
+    std::unique_ptr<ThreadPool> owned_pool_;
+    ThreadPool* pool_ = nullptr;  // owned or borrowed; null → serial
+  };
+
   /// Runs the matrix: `Run(...)[i][j]` is the detection of `keys[j]` on
   /// `suspects[i]`. Creates a transient pool when `num_threads > 1`.
+  /// `keys` is taken by value and moved into the one-chunk session —
+  /// callers with a freshly built vector move it in copy-free.
   std::vector<std::vector<DetectResult>> Run(
       const std::vector<Histogram>& suspects,
-      const std::vector<SchemeKey>& keys) const;
+      std::vector<SchemeKey> keys) const;
 
   /// Like `Run`, but borrows `pool` (may be null → serial). Lets callers
   /// amortize one pool across many batches.
   std::vector<std::vector<DetectResult>> Run(
-      const std::vector<Histogram>& suspects,
-      const std::vector<SchemeKey>& keys, ThreadPool* pool) const;
+      const std::vector<Histogram>& suspects, std::vector<SchemeKey> keys,
+      ThreadPool* pool) const;
 
   const BatchDetectOptions& options() const { return options_; }
 

@@ -144,6 +144,91 @@ TEST(RegistryTest, DeserializeRejectsDuplicateBuyers) {
   EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- ISSUE 5 round-trip hardening regressions -------------------------
+
+TEST(RegistryTest, DeserializeRejectsDuplicateBuyersAcrossSchemes) {
+  // Same buyer id under two different scheme tags is still one buyer:
+  // duplicate ids must fail with InvalidArgument, not shadow each other.
+  FingerprintRegistry a;
+  ASSERT_TRUE(a.Register("dup", MakeSchemeKey("freqywm", 7)).ok());
+  FingerprintRegistry b;
+  ASSERT_TRUE(b.Register("dup", MakeSchemeKey("wm-rvs", 8)).ok());
+
+  std::string text_a = a.Serialize();
+  std::string text_b = b.Serialize();
+  size_t body_b = text_b.find('\n', text_b.find('\n') + 1) + 1;
+  std::string spliced = text_a + text_b.substr(body_b);
+  size_t records_pos = spliced.find("records 1");
+  ASSERT_NE(records_pos, std::string::npos);
+  spliced.replace(records_pos, 9, "records 2");
+
+  auto parsed = FingerprintRegistry::Deserialize(spliced);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, DeserializeRejectsUndercountedRecordsHeader) {
+  // Previously an undercounting `records` header silently dropped the
+  // trailing records — Deserialize(Serialize(x)) would lose buyers.
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("a", MakeSecrets(1)).ok());
+  ASSERT_TRUE(registry.Register("b", MakeSecrets(2)).ok());
+  std::string text = registry.Serialize();
+  size_t records_pos = text.find("records 2");
+  ASSERT_NE(records_pos, std::string::npos);
+  text.replace(records_pos, 9, "records 1");
+
+  auto parsed = FingerprintRegistry::Deserialize(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+
+  // Trailing whitespace (the serializer's own newline) stays legal.
+  FingerprintRegistry one;
+  ASSERT_TRUE(one.Register("a", MakeSecrets(1)).ok());
+  EXPECT_TRUE(FingerprintRegistry::Deserialize(one.Serialize() + "\n\n").ok());
+}
+
+TEST(RegistryTest, DeserializeRejectsOverflowingSizeFieldsWithoutThrowing) {
+  // 20-digit counts used to escape as std::out_of_range from std::stoull
+  // and terminate the process; they must surface as a status instead.
+  EXPECT_FALSE(FingerprintRegistry::Deserialize(
+                   "freqywm-registry v2\nrecords 99999999999999999999\n")
+                   .ok());
+
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("a", MakeSecrets(1)).ok());
+  std::string text = registry.Serialize();
+  size_t buyer_pos = text.find("buyer ");
+  ASSERT_NE(buyer_pos, std::string::npos);
+  size_t size_end = text.find(' ', buyer_pos + 6);
+  std::string huge = text.substr(0, buyer_pos + 6) +
+                     "99999999999999999999" + text.substr(size_end);
+  EXPECT_FALSE(FingerprintRegistry::Deserialize(huge).ok());
+
+  // A signed size field is malformed, not a sign-extended huge read.
+  std::string negative = text.substr(0, buyer_pos + 6) + "-1" +
+                         text.substr(size_end);
+  auto parsed = FingerprintRegistry::Deserialize(negative);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RegistryTest, DeserializeRejectsMissingPayloadSeparator) {
+  FingerprintRegistry registry;
+  ASSERT_TRUE(registry.Register("a", MakeSchemeKey("wm-rvs", 5)).ok());
+  std::string text = registry.Serialize();
+  // Shrink the declared payload size by two: the separator check lands
+  // mid-payload and must reject rather than shift the framing.
+  size_t buyer_pos = text.find("buyer ");
+  size_t size_end = text.find(' ', buyer_pos + 6);
+  std::string size_text = text.substr(buyer_pos + 6,
+                                      size_end - buyer_pos - 6);
+  size_t declared = std::stoull(size_text);
+  std::string shrunk = text.substr(0, buyer_pos + 6) +
+                       std::to_string(declared - 2) + text.substr(size_end);
+  EXPECT_FALSE(FingerprintRegistry::Deserialize(shrunk).ok());
+}
+
 TEST(RegistryTest, TraceIdentifiesLeakingBuyer) {
   Rng rng(5);
   PowerLawSpec spec;
