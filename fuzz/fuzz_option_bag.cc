@@ -1,0 +1,61 @@
+/// Fuzz harness for `OptionBag` and the factory builders behind it
+/// (DESIGN.md §11): `FromString` parsing, the typed getters (which carry
+/// the PR 2 hardening: non-finite doubles and u64 overflow rejected), and
+/// `SchemeFactory::Create`, whose per-scheme builders validate every
+/// option and reject unknown keys.
+///
+/// Input layout: byte 0 selects the scheme to build, the rest is the
+/// "key=value,key=value" bag text.
+///
+/// Properties checked on every input:
+///  * parsing and building never crash, leak or trip UB;
+///  * the typed getters return a value or a `Status` — never throw — for
+///    arbitrary entry bytes;
+///  * a successfully built scheme reports the name it was built under.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/factory.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>(freqywm::SchemeFactory::RegisteredNames());
+  const std::string& scheme_name = (*names)[data[0] % names->size()];
+  const std::string text(reinterpret_cast<const char*>(data) + 1, size - 1);
+
+  freqywm::Result<freqywm::OptionBag> parsed =
+      freqywm::OptionBag::FromString(text);
+  if (!parsed.ok()) return 0;  // rejecting is always fine
+  const freqywm::OptionBag& bag = parsed.value();
+
+  // The typed getters must parse-or-reject every present value without
+  // throwing; fallbacks exercise the absent path on the same keys.
+  for (const auto& [key, value] : bag.entries()) {
+    (void)value;
+    if (freqywm::Result<double> d = bag.GetDouble(key, 0.5); d.ok()) {
+      (void)d.value();
+    }
+    if (freqywm::Result<uint64_t> u = bag.GetU64(key, 7); u.ok()) {
+      (void)u.value();
+    }
+    if (freqywm::Result<std::string> s = bag.GetString(key, "x"); s.ok()) {
+      (void)s.value();
+    }
+  }
+
+  freqywm::Result<std::unique_ptr<freqywm::WatermarkScheme>> built =
+      freqywm::SchemeFactory::Create(scheme_name, bag);
+  if (!built.ok()) return 0;  // builders may reject any bag
+  if (built.value()->name() != scheme_name) {
+    std::fprintf(stderr, "scheme built as '%s' reports name '%s'\n",
+                 scheme_name.c_str(), built.value()->name().c_str());
+    std::abort();
+  }
+  return 0;
+}

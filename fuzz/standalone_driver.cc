@@ -1,0 +1,133 @@
+/// Corpus-replay driver for builds without libFuzzer (gcc, MSVC): links
+/// against the same `LLVMFuzzerTestOneInput` entry point as the real
+/// engine and replays every file under the given paths, optionally
+/// followed by deterministic mutations of each seed. This keeps the
+/// harness logic exercised on every toolchain — the coverage-guided
+/// exploration itself runs in the clang `fuzz-smoke` CI job
+/// (DESIGN.md §11).
+///
+/// Usage: driver [--mutations=N] <file-or-dir>...
+///
+/// Mutations are reproducible: the RNG is seeded from an FNV-1a hash of
+/// the seed bytes, never from time or address randomness, so a failing
+/// mutation index can be replayed bit-exactly.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xorshift64* — tiny, deterministic, good enough to perturb seeds.
+uint64_t NextRand(uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+/// One deterministic mutation: byte flips, truncation, duplication or an
+/// insertion, chosen by the RNG.
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed,
+                            uint64_t& state) {
+  std::vector<uint8_t> out = seed;
+  switch (NextRand(state) % 4) {
+    case 0: {  // flip up to 4 bytes
+      if (out.empty()) break;
+      size_t flips = 1 + NextRand(state) % 4;
+      for (size_t f = 0; f < flips; ++f) {
+        out[NextRand(state) % out.size()] ^=
+            static_cast<uint8_t>(NextRand(state));
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (out.empty()) break;
+      out.resize(NextRand(state) % out.size());
+      break;
+    }
+    case 2: {  // duplicate a slice onto the end
+      if (out.empty()) break;
+      size_t begin = NextRand(state) % out.size();
+      size_t len = 1 + NextRand(state) % (out.size() - begin);
+      out.insert(out.end(), out.begin() + static_cast<ptrdiff_t>(begin),
+                 out.begin() + static_cast<ptrdiff_t>(begin + len));
+      break;
+    }
+    default: {  // insert a random byte
+      size_t pos = out.empty() ? 0 : NextRand(state) % (out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 static_cast<uint8_t>(NextRand(state)));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t mutations = 0;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mutations=", 12) == 0) {
+      mutations = static_cast<size_t>(std::strtoull(argv[i] + 12, nullptr, 10));
+      continue;
+    }
+    std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s [--mutations=N] <file-or-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());  // deterministic replay order
+
+  size_t execs = 0;
+  for (const auto& path : inputs) {
+    const std::vector<uint8_t> seed = ReadFile(path);
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+    ++execs;
+    uint64_t state = Fnv1a(seed) | 1;  // never zero (xorshift fixpoint)
+    for (size_t m = 0; m < mutations; ++m) {
+      const std::vector<uint8_t> mutated = Mutate(seed, state);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++execs;
+    }
+  }
+  std::printf("standalone fuzz driver: %zu inputs, %zu execs, no crashes\n",
+              inputs.size(), execs);
+  return 0;
+}

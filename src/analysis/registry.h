@@ -79,12 +79,12 @@ class FingerprintRegistry {
   /// `InvalidArgument` when the buyer id is empty, contains newlines, or is
   /// already registered, or when the key's scheme tag is empty or contains
   /// whitespace.
-  Status Register(const std::string& buyer_id, SchemeKey key);
+  [[nodiscard]] Status Register(const std::string& buyer_id, SchemeKey key);
 
   /// Legacy convenience for FreqyWM secrets (delegates to the tagged
   /// overload with scheme "freqywm").
-  Status Register(const std::string& buyer_id,
-                  const WatermarkSecrets& secrets);
+  [[nodiscard]] Status Register(const std::string& buyer_id,
+                                const WatermarkSecrets& secrets);
 
   size_t size() const { return records_.size(); }
   const std::vector<FingerprintRecord>& records() const { return records_; }
@@ -124,7 +124,8 @@ class FingerprintRegistry {
   /// round-trip hardening — text whose `records` header undercounts the
   /// records present (`InvalidArgument`: trailing data would be silently
   /// dropped by a round trip) or whose size fields overflow `uint64`.
-  static Result<FingerprintRegistry> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<FingerprintRegistry> Deserialize(
+      const std::string& text);
 
  private:
   std::vector<FingerprintRecord> records_;

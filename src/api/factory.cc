@@ -4,13 +4,14 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
 
 #include "api/freqywm_scheme.h"
 #include "api/key_util.h"
 #include "api/wm_obt_scheme.h"
 #include "api/wm_rvs_scheme.h"
+#include "common/mutex.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace freqywm {
 
@@ -244,8 +245,8 @@ Result<std::unique_ptr<WatermarkScheme>> BuildWmRvs(const OptionBag& bag) {
 }
 
 struct FactoryState {
-  std::mutex mutex;
-  std::map<std::string, SchemeFactory::Builder> builders;
+  Mutex mutex;
+  std::map<std::string, SchemeFactory::Builder> builders GUARDED_BY(mutex);
 };
 
 /// Singleton with the paper schemes pre-registered; function-local so
@@ -273,7 +274,7 @@ Status SchemeFactory::Register(const std::string& name, Builder builder) {
     return Status::InvalidArgument("scheme builder must be callable");
   }
   FactoryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   if (!state.builders.emplace(name, std::move(builder)).second) {
     return Status::InvalidArgument("scheme '" + name +
                                    "' is already registered");
@@ -286,7 +287,7 @@ Result<std::unique_ptr<WatermarkScheme>> SchemeFactory::Create(
   Builder builder;
   {
     FactoryState& state = State();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     auto it = state.builders.find(name);
     if (it == state.builders.end()) {
       return Status::NotFound("no scheme registered as '" + name + "'");
@@ -310,7 +311,7 @@ const WatermarkScheme* SchemeCache::Get(const std::string& name) {
 
 std::vector<std::string> SchemeFactory::RegisteredNames() {
   FactoryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   std::vector<std::string> names;
   names.reserve(state.builders.size());
   for (const auto& [name, builder] : state.builders) {

@@ -27,7 +27,7 @@ class OptionBag {
 
   /// Parses "key=value,key=value" (the CLI `--opt` syntax). Whitespace
   /// around keys and values is stripped; empty segments are skipped.
-  static Result<OptionBag> FromString(std::string_view text);
+  [[nodiscard]] static Result<OptionBag> FromString(std::string_view text);
 
   void Set(const std::string& key, const std::string& value);
   bool Has(const std::string& key) const;
@@ -38,13 +38,16 @@ class OptionBag {
 
   /// Typed getters: return `fallback` when the key is absent and
   /// `InvalidArgument` when present but unparsable.
-  Result<std::string> GetString(const std::string& key,
-                                std::string fallback) const;
-  Result<double> GetDouble(const std::string& key, double fallback) const;
-  Result<uint64_t> GetU64(const std::string& key, uint64_t fallback) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key,
+                                              std::string fallback) const;
+  [[nodiscard]] Result<double> GetDouble(const std::string& key,
+                                         double fallback) const;
+  [[nodiscard]] Result<uint64_t> GetU64(const std::string& key,
+                                        uint64_t fallback) const;
 
   /// Fails with `InvalidArgument` naming the first key outside `allowed`.
-  Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
+  [[nodiscard]] Status ExpectOnly(
+      std::initializer_list<std::string_view> allowed) const;
 
  private:
   std::map<std::string, std::string> entries_;
@@ -64,11 +67,12 @@ class SchemeFactory {
 
   /// Registers a scheme builder. Fails with `InvalidArgument` when `name`
   /// is empty, contains whitespace/newlines, or is already registered.
-  static Status Register(const std::string& name, Builder builder);
+  [[nodiscard]] static Status Register(const std::string& name,
+                                       Builder builder);
 
   /// Instantiates a scheme by name. Fails with `NotFound` for unknown
   /// names and propagates builder failures (e.g. malformed options).
-  static Result<std::unique_ptr<WatermarkScheme>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<WatermarkScheme>> Create(
       const std::string& name, const OptionBag& options = {});
 
   /// All registered scheme names, sorted.

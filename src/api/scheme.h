@@ -36,11 +36,11 @@ struct SchemeKey {
 
   /// Parses the output of `Serialize`. Fails with `Corruption` on malformed
   /// input.
-  static Result<SchemeKey> Deserialize(const std::string& text);
+  [[nodiscard]] static Result<SchemeKey> Deserialize(const std::string& text);
 
   /// Saves to / loads from a file.
-  Status SaveToFile(const std::string& path) const;
-  static Result<SchemeKey> LoadFromFile(const std::string& path);
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] static Result<SchemeKey> LoadFromFile(const std::string& path);
 
   friend bool operator==(const SchemeKey& a, const SchemeKey& b) {
     return a.scheme == b.scheme && a.payload == b.payload;
@@ -149,7 +149,8 @@ class WatermarkScheme {
   virtual std::string name() const = 0;
 
   /// Watermarks a frequency histogram.
-  virtual Result<EmbedOutcome> Embed(const Histogram& original) const = 0;
+  [[nodiscard]] virtual Result<EmbedOutcome> Embed(
+      const Histogram& original) const = 0;
 
   /// Exec-aware variant of `Embed`: when `exec` carries a thread pool, the
   /// scheme's intra-embed hot loops run sharded across it — FreqyWM's
@@ -157,14 +158,14 @@ class WatermarkScheme {
   /// optimization and WM-RVS's per-token keyed-hash pass (DESIGN.md §9).
   /// The default delegates to the serial `Embed`. Overrides must keep the
   /// determinism contract: byte-identical output at any thread count.
-  virtual Result<EmbedOutcome> Embed(const Histogram& original,
-                                     const ExecContext& exec) const;
+  [[nodiscard]] virtual Result<EmbedOutcome> Embed(
+      const Histogram& original, const ExecContext& exec) const;
 
   /// Watermarks a dataset end-to-end. The default implementation embeds at
   /// histogram level and applies the generic data transformation (insert or
   /// remove token instances at random positions until the histogram
   /// matches); schemes with a native row-level path override it.
-  virtual Result<DatasetEmbedOutcome> EmbedDataset(
+  [[nodiscard]] virtual Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original) const;
 
   /// Exec-aware variant of `EmbedDataset`: when `exec` carries a thread
@@ -173,7 +174,7 @@ class WatermarkScheme {
   /// runs through `Embed(original, exec)` so intra-embed hot loops
   /// parallelize too. The outcome is bit-identical to the serial overload
   /// for any thread count; overriding schemes must preserve that contract.
-  virtual Result<DatasetEmbedOutcome> EmbedDataset(
+  [[nodiscard]] virtual Result<DatasetEmbedOutcome> EmbedDataset(
       const Dataset& original, const ExecContext& exec) const;
 
   /// Runs detection of `key` on a suspect histogram. `options` semantics
@@ -235,8 +236,8 @@ class WatermarkScheme {
 
   /// Re-aligns a drifted watermark (incremental maintenance, paper §VI).
   /// Default: `NotSupported`.
-  virtual Result<EmbedOutcome> Refresh(const Histogram& drifted,
-                                       const SchemeKey& key) const;
+  [[nodiscard]] virtual Result<EmbedOutcome> Refresh(
+      const Histogram& drifted, const SchemeKey& key) const;
 
  protected:
   /// Seed for the default `EmbedDataset` row-placement randomness; schemes

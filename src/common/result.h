@@ -18,8 +18,12 @@ namespace freqywm {
 /// Constructing a `Result` from an OK `Status` is a programming error and is
 /// converted into an `Internal` error so that misuse is observable rather
 /// than undefined.
+///
+/// Like `Status`, the class is `[[nodiscard]]` (DESIGN.md §11): dropping a
+/// returned `Result` discards both the value and the error, so the
+/// compiler rejects it under `-Werror`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversion from a value (the common success path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
@@ -37,7 +41,7 @@ class Result {
   Result& operator=(Result&&) noexcept = default;
 
   /// True iff a value is present.
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
 
   /// The status; OK when a value is present.
   const Status& status() const { return status_; }

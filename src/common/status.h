@@ -38,12 +38,18 @@ std::string_view StatusCodeToString(StatusCode code);
 /// return `Status` (or `Result<T>` when they also produce a value). A default
 /// constructed `Status` is OK and stores no message.
 ///
+/// The class is `[[nodiscard]]`: any call that returns a `Status` by value
+/// and drops it on the floor is a compile error under `-Werror`
+/// (DESIGN.md §11) — silently ignoring a failed `Register` or `Deserialize`
+/// is how corrupt registries ship. The rare intentional discard is written
+/// `(void)expr;` with a comment justifying why failure is acceptable.
+///
 /// Typical usage:
 /// \code
 ///   Status s = generator.Run(dataset);
 ///   if (!s.ok()) return s;  // propagate
 /// \endcode
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,7 +85,7 @@ class Status {
   }
 
   /// True iff the status carries no error.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   /// The machine-readable code.
   StatusCode code() const { return code_; }

@@ -1,0 +1,80 @@
+#ifndef FREQYWM_COMMON_THREAD_ANNOTATIONS_H_
+#define FREQYWM_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute shim (DESIGN.md §11).
+///
+/// These macros attach lock-discipline contracts to code: which mutex
+/// guards which member (`GUARDED_BY`), which functions must be called with
+/// a mutex held (`REQUIRES`), and which functions acquire/release one
+/// (`ACQUIRE`/`RELEASE`). Under clang with `-Wthread-safety` the compiler
+/// proves the contracts at build time — the CI `thread-safety` job runs
+/// exactly that with `-Werror`, so a data race that is really a
+/// lock-discipline bug fails the build instead of waiting for TSan to
+/// catch an interleaving. Under every other compiler the macros expand to
+/// nothing and serve as checked documentation.
+///
+/// The std::mutex family carries no capability attributes in libstdc++, so
+/// the analysis cannot see through `std::lock_guard`; annotated code locks
+/// through the `Mutex`/`MutexLock`/`CondVar` wrappers in `common/mutex.h`
+/// instead.
+///
+/// The macro set follows the LLVM documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and matches the
+/// names used by abseil and Chromium, so the idiom is recognizable.
+
+#if defined(__clang__) && !defined(SWIG)
+#define FREQYWM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FREQYWM_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (lockable). Example:
+///   class CAPABILITY("mutex") Mutex { ... };
+#define CAPABILITY(x) FREQYWM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define SCOPED_CAPABILITY FREQYWM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) FREQYWM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected.
+#define PT_GUARDED_BY(x) FREQYWM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called with the capability held;
+/// the caller keeps holding it afterwards.
+#define REQUIRES(...) \
+  FREQYWM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of `REQUIRES`.
+#define REQUIRES_SHARED(...) \
+  FREQYWM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability and does not release
+/// it before returning.
+#define ACQUIRE(...) \
+  FREQYWM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases a capability the caller held.
+#define RELEASE(...) \
+  FREQYWM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability iff it returns the
+/// given value. Example: `bool TryLock() TRY_ACQUIRE(true);`
+#define TRY_ACQUIRE(...) \
+  FREQYWM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called with the capability held
+/// (it acquires it itself; calling with it held would deadlock).
+#define EXCLUDES(...) FREQYWM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) FREQYWM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts one function out of the analysis. Every use must carry a comment
+/// justifying why the contract cannot be expressed (DESIGN.md §11 budgets
+/// these like NOLINTs: approximately zero).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FREQYWM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // FREQYWM_COMMON_THREAD_ANNOTATIONS_H_

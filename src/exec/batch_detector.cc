@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace freqywm {
 
 BatchDetector::BatchDetector(BatchDetectOptions options)
@@ -98,19 +100,32 @@ void BatchDetector::Session::ScatterSuspect(const Histogram& suspect,
 }
 
 void BatchDetector::Session::AddSuspect(Histogram suspect) {
+  MutexLock lock(pending_mutex_);
   pending_.push_back(std::move(suspect));
 }
 
 void BatchDetector::Session::AddSuspects(std::vector<Histogram> suspects) {
+  MutexLock lock(pending_mutex_);
   for (Histogram& suspect : suspects) {
     pending_.push_back(std::move(suspect));
   }
 }
 
+size_t BatchDetector::Session::pending_suspects() const {
+  MutexLock lock(pending_mutex_);
+  return pending_.size();
+}
+
 std::vector<std::vector<DetectResult>> BatchDetector::Session::Drain() {
-  std::vector<std::vector<DetectResult>> results = Detect(pending_);
-  pending_.clear();
-  return results;
+  // Claim the queue atomically, then detect outside the lock: producers
+  // that enqueue while the matrix evaluates land in the next drain instead
+  // of blocking on it.
+  std::vector<Histogram> batch;
+  {
+    MutexLock lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  return Detect(batch);
 }
 
 std::vector<std::vector<DetectResult>> BatchDetector::Session::Detect(

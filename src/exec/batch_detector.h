@@ -9,6 +9,8 @@
 
 #include "api/factory.h"
 #include "api/scheme.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/detect.h"
 #include "core/options.h"
 #include "data/histogram.h"
@@ -79,10 +81,16 @@ class BatchDetector {
   /// `Drain` output is element-wise identical to a one-shot `Run` over the
   /// concatenated chunks, for any chunking, thread count and cache state.
   ///
-  /// Not thread-safe itself: one session is driven by one caller (the
-  /// parallelism lives inside `Drain`). Prepared keys resolved at
-  /// construction are pinned for the session's lifetime — cache evictions
-  /// never invalidate them.
+  /// Concurrency: the enqueue side is thread-safe — `AddSuspect`/
+  /// `AddSuspects` may be called from many producer threads (the shape of
+  /// the ROADMAP's detection service, where request handlers enqueue while
+  /// a drainer detects); the pending queue is guarded by `pending_mutex_`
+  /// (machine-checked by the CI thread-safety job). Arrival order under
+  /// concurrent producers is whatever order the enqueues serialize in —
+  /// per-producer order is preserved. `Drain`/`Detect` remain
+  /// single-caller: one drainer at a time (the parallelism lives inside
+  /// `Drain`). Prepared keys resolved at construction are pinned for the
+  /// session's lifetime — cache evictions never invalidate them.
   class Session {
    public:
     /// Creates a session over `keys`, owning a thread pool when
@@ -98,11 +106,13 @@ class BatchDetector {
     Session& operator=(const Session&) = delete;
 
     /// Enqueues suspects for the next `Drain`, preserving arrival order.
+    /// Thread-safe: producers may enqueue concurrently (and while a
+    /// `Drain` is running; such suspects land in the *next* drain).
     void AddSuspect(Histogram suspect);
     void AddSuspects(std::vector<Histogram> suspects);
 
-    /// Suspects enqueued since the last `Drain`.
-    size_t pending_suspects() const { return pending_.size(); }
+    /// Suspects enqueued since the last `Drain`. Thread-safe.
+    size_t pending_suspects() const;
 
     /// Detects every pending suspect against the key column and clears
     /// the queue. Row order equals arrival order.
@@ -140,7 +150,11 @@ class BatchDetector {
     std::unordered_map<Token, uint32_t> vocab_index_;
     std::vector<std::vector<uint32_t>> dense_ids_;
 
-    std::vector<Histogram> pending_;
+    /// Producer-side state: the only mutable-after-construction session
+    /// state, guarded so request handlers can enqueue concurrently.
+    mutable Mutex pending_mutex_;
+    std::vector<Histogram> pending_ GUARDED_BY(pending_mutex_);
+
     std::unique_ptr<ThreadPool> owned_pool_;
     ThreadPool* pool_ = nullptr;  // owned or borrowed; null → serial
   };

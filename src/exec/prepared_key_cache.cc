@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/mutex.h"
 #include "crypto/sha256.h"
 
 namespace freqywm {
@@ -27,71 +28,73 @@ std::string PreparedKeyCache::Fingerprint(const SchemeKey& key) {
                      digest.size());
 }
 
-std::shared_ptr<const PreparedKey> PreparedKeyCache::Get(
-    const SchemeKey& key) {
-  const std::string fingerprint = Fingerprint(key);
-  std::lock_guard<std::mutex> lock(mutex_);
+std::shared_ptr<const PreparedKey> PreparedKeyCache::HitLocked(
+    const std::string& fingerprint) {
   auto it = index_.find(fingerprint);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
-  }
+  if (it == index_.end()) return nullptr;
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
+}
+
+void PreparedKeyCache::EvictExcessLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const PreparedKey> PreparedKeyCache::Get(
+    const SchemeKey& key) {
+  const std::string fingerprint = Fingerprint(key);
+  MutexLock lock(mutex_);
+  std::shared_ptr<const PreparedKey> hit = HitLocked(fingerprint);
+  if (hit == nullptr) ++misses_;
+  return hit;
 }
 
 std::shared_ptr<const PreparedKey> PreparedKeyCache::GetOrPrepare(
     const WatermarkScheme& scheme, const SchemeKey& key) {
   const std::string fingerprint = Fingerprint(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(fingerprint);
-    if (it != index_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->second;
-    }
+    MutexLock lock(mutex_);
+    std::shared_ptr<const PreparedKey> hit = HitLocked(fingerprint);
+    if (hit != nullptr) return hit;
   }
 
   // Miss: prepare outside the lock so one slow key never serializes the
   // whole cache. `Prepare` never returns null (api/scheme.h contract).
   std::shared_ptr<const PreparedKey> prepared = scheme.Prepare(key);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(fingerprint);
-  if (it != index_.end()) {
+  MutexLock lock(mutex_);
+  std::shared_ptr<const PreparedKey> hit = HitLocked(fingerprint);
+  if (hit != nullptr) {
     // A concurrent miss beat us to the insert. Keep the incumbent so every
     // borrower shares one object; our duplicate preparation is discarded.
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return hit;
   }
   ++misses_;
   lru_.emplace_front(fingerprint, std::move(prepared));
   index_.emplace(fingerprint, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
-  }
+  EvictExcessLocked();
   return lru_.front().second;
 }
 
 void PreparedKeyCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   hits_ = misses_ = evictions_ = 0;
 }
 
 size_t PreparedKeyCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 PreparedKeyCacheStats PreparedKeyCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PreparedKeyCacheStats out;
   out.hits = hits_;
   out.misses = misses_;

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "api/scheme.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace freqywm {
 
@@ -95,13 +96,23 @@ class PreparedKeyCache {
   /// LRU order: front = most recently used. The map indexes into the list.
   using Entry = std::pair<std::string, std::shared_ptr<const PreparedKey>>;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Looks up `fingerprint` and, on a hit, counts it and refreshes its
+  /// recency; returns nullptr on a miss (counted by the caller, which
+  /// knows whether the miss leads to an insert or a prepared retry).
+  std::shared_ptr<const PreparedKey> HitLocked(const std::string& fingerprint)
+      REQUIRES(mutex_);
+
+  /// Evicts LRU entries until `lru_.size() <= capacity_`.
+  void EvictExcessLocked() REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mutex_);
   const size_t capacity_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace freqywm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace freqywm {
 
 namespace {
@@ -11,14 +13,16 @@ namespace {
 /// by the helper tasks: a helper that is only dequeued after the loop
 /// finished claims an index >= n and exits without touching `body`, so the
 /// caller can return as soon as all `n` iterations are done — it never
-/// waits for stragglers that hold no work.
+/// waits for stragglers that hold no work. The mutex guards no data (the
+/// counters are atomics); it pairs the completion notify with the caller's
+/// wait predicate.
 struct ForState {
   size_t n = 0;
   const std::function<void(size_t)>* body = nullptr;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
 };
 
 /// Claims indices until exhausted. Whoever completes the last iteration
@@ -30,8 +34,8 @@ void RunForChunk(ForState& state) {
     if (i >= state.n) return;
     (*state.body)(i);
     if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.n) {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      state.cv.notify_all();
+      MutexLock lock(state.mutex);
+      state.cv.NotifyAll();
     }
   }
 }
@@ -56,10 +60,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_.store(true, std::memory_order_release);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -67,16 +71,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
              queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
-    queues_[q]->tasks.push_back(std::move(task));
+    TaskQueue& queue = *queues_[q];
+    MutexLock lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
     // Empty critical section: pairs the notify with the wait predicate so
     // a worker observing pending_ == 0 is guaranteed to see the wakeup.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask(size_t self) {
@@ -84,7 +89,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   {
     // Own queue: newest first (LIFO) — the classic work-stealing split.
     TaskQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -94,7 +99,7 @@ bool ThreadPool::RunOneTask(size_t self) {
     // Steal oldest-first from the other queues.
     for (size_t k = 1; k < queues_.size() && !task; ++k) {
       TaskQueue& victim = *queues_[(self + k) % queues_.size()];
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -110,8 +115,8 @@ bool ThreadPool::RunOneTask(size_t self) {
 void ThreadPool::WorkerLoop(size_t self) {
   while (true) {
     if (RunOneTask(self)) continue;
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mutex_);
+    wake_cv_.Wait(wake_mutex_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
     });
@@ -137,8 +142,8 @@ void ThreadPool::ParallelFor(size_t n,
     Submit([state] { RunForChunk(*state); });
   }
   RunForChunk(*state);  // the caller is a full participant
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&] {
+  MutexLock lock(state->mutex);
+  state->cv.Wait(state->mutex, [&] {
     return state->done.load(std::memory_order_acquire) == state->n;
   });
 }

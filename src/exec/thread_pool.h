@@ -2,14 +2,15 @@
 #define FREQYWM_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace freqywm {
 
@@ -26,6 +27,13 @@ namespace freqywm {
 ///
 /// Tasks must not throw; error handling in this codebase is `Status`-based
 /// and parallel bodies communicate failure through their outputs.
+///
+/// Lock discipline (machine-checked by the CI thread-safety job,
+/// DESIGN.md §11): each `TaskQueue::tasks` deque is guarded by its own
+/// `TaskQueue::mutex`; `wake_mutex_` guards no data — it exists to pair
+/// `wake_cv_` notifies with the wait predicate over the `pending_` and
+/// `stop_` atomics, so a submit between "queues empty" and "worker asleep"
+/// is never lost.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 → `HardwareThreads()`).
@@ -54,8 +62,8 @@ class ThreadPool {
 
  private:
   struct TaskQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t self);
@@ -72,8 +80,8 @@ class ThreadPool {
   std::atomic<size_t> pending_{0};
   std::atomic<size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
 };
 
 }  // namespace freqywm

@@ -48,6 +48,68 @@ TEST(ResultTest, MoveOnlyTypeSupported) {
   EXPECT_EQ(*p, 7);
 }
 
+TEST(ResultTest, ErrorCodeAndMessagePropagate) {
+  Result<int> r = Status::Corruption("truncated at byte 12");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.status().message(), "truncated at byte 12");
+}
+
+TEST(ResultTest, CopySharesNothingWithSource) {
+  Result<std::vector<int>> source = std::vector<int>{1, 2};
+  Result<std::vector<int>> copy = source;
+  ASSERT_TRUE(copy.ok());
+  copy.value().push_back(3);
+  EXPECT_EQ(source.value().size(), 2u);
+  EXPECT_EQ(copy.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveConstructionCarriesValue) {
+  Result<std::unique_ptr<int>> source = std::make_unique<int>(11);
+  Result<std::unique_ptr<int>> moved(std::move(source));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved.value(), 11);
+}
+
+TEST(ResultTest, MoveAssignmentCarriesError) {
+  Result<std::unique_ptr<int>> target = std::make_unique<int>(1);
+  target = Result<std::unique_ptr<int>>(Status::NotFound("gone"));
+  EXPECT_FALSE(target.ok());
+  EXPECT_EQ(target.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(target.status().message(), "gone");
+}
+
+TEST(ResultTest, MutableValueAccessorAllowsInPlaceEdit) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+TEST(ResultTest, StatusOfOkResultIsOk) {
+  Result<int> r = 3;
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.status(), Status::OK());
+}
+
+Result<std::unique_ptr<int>> MakeBox(bool fail) {
+  if (fail) return Status::Internal("no box");
+  return std::make_unique<int>(9);
+}
+
+Status UseAssignMacroMoveOnly(bool fail, int* out) {
+  FREQYWM_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(fail));
+  *out = *box;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroHandlesMoveOnlyTypes) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignMacroMoveOnly(false, &out).ok());
+  EXPECT_EQ(out, 9);
+  EXPECT_EQ(UseAssignMacroMoveOnly(true, &out).code(), StatusCode::kInternal);
+  EXPECT_EQ(out, 9);
+}
+
 Result<int> HalfOf(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;

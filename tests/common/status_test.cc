@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <utility>
+
 namespace freqywm {
 namespace {
 
@@ -42,6 +45,43 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource_exhausted");
+}
+
+TEST(StatusTest, CopyPreservesCodeAndMessage) {
+  Status original = Status::Corruption("bad header");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  Status assigned;
+  assigned = original;
+  EXPECT_EQ(assigned, original);
+  // The source is untouched by copies.
+  EXPECT_EQ(original.code(), StatusCode::kCorruption);
+  EXPECT_EQ(original.message(), "bad header");
+}
+
+TEST(StatusTest, MoveTransfersCodeAndMessage) {
+  Status source = Status::ResourceExhausted("budget spent");
+  Status moved(std::move(source));
+  EXPECT_EQ(moved.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(moved.message(), "budget spent");
+
+  Status target;
+  target = Status::NotFound("token 'x'");
+  EXPECT_EQ(target.code(), StatusCode::kNotFound);
+  EXPECT_EQ(target.message(), "token 'x'");
+}
+
+TEST(StatusTest, OkFactoryEqualsDefaultAndCarriesNoMessage) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.message().empty());
+  EXPECT_EQ(ok, Status());
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("invariant");
+  EXPECT_EQ(os.str(), "internal: invariant");
 }
 
 Status FailsThenPropagates(bool fail) {

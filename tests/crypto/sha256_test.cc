@@ -149,6 +149,18 @@ TEST(Sha256Test, DigestPrefixU64IsBigEndian) {
   EXPECT_EQ(DigestPrefixU64(d), 0x01000000000000ffULL);
 }
 
+// Regression guard (DESIGN.md §11): every prefix byte has its top bit
+// set, so any implicit promotion to signed int inside the byte-fold
+// (`v << 8 | digest[i]`) would be UB the CI UBSan job catches — the fold
+// must stay in uint64_t the whole way.
+TEST(Sha256Test, DigestPrefixU64HighBitBytesStayUnsigned) {
+  Sha256::Digest d{};
+  for (size_t i = 0; i < 8; ++i) d[i] = 0xff;
+  EXPECT_EQ(DigestPrefixU64(d), 0xffffffffffffffffULL);
+  d[0] = 0x80;
+  EXPECT_EQ(DigestPrefixU64(d), 0x80ffffffffffffffULL);
+}
+
 TEST(Sha256Test, AvalancheOneBitFlip) {
   Sha256::Digest a = Sha256::Hash("token-a");
   Sha256::Digest b = Sha256::Hash("token-b");

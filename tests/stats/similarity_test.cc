@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 namespace freqywm {
 namespace {
 
@@ -133,6 +136,27 @@ TEST(IncrementalCosineTest, SequenceOfPairsMatchesBatch) {
     ASSERT_TRUE(modified.AddDelta(h.entry(s.rank).token, s.delta).ok());
   }
   EXPECT_NEAR(inc.Similarity(), HistogramSimilarity(h, modified), 1e-12);
+}
+
+// Regression guard (DESIGN.md §11): counts near the uint64 ceiling must
+// flow through the accumulators as doubles — an integer dot product or
+// squared norm at this magnitude is signed-overflow UB the CI UBSan job
+// catches. Results only need to stay finite and in range.
+TEST(IncrementalCosineTest, ExtremeCountsDoNotOverflow) {
+  const uint64_t huge = 0xfff0000000000000ULL;
+  Histogram h = MakeHist({{"a", huge}, {"b", huge / 2}, {"c", 1}});
+  IncrementalCosine inc(h);
+  EXPECT_NEAR(inc.Similarity(), 1.0, 1e-12);
+
+  inc.ApplyDelta(2, static_cast<int64_t>(1) << 62);
+  double sim = inc.Similarity();
+  EXPECT_TRUE(std::isfinite(sim));
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0 + 1e-12);
+
+  double probe = inc.ProbePairDelta(0, -(static_cast<int64_t>(1) << 60), 1,
+                                    static_cast<int64_t>(1) << 60);
+  EXPECT_TRUE(std::isfinite(probe));
 }
 
 }  // namespace

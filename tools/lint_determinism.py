@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Determinism lint for the result-producing layers (DESIGN.md §11).
+
+The library's central promise is byte-identical output for a fixed
+configuration — at any thread count, chunking or cache state. This lint
+makes the promise's preconditions grep-able: the result-producing
+directories (src/core, src/exec, src/api) must not reach for ambient
+nondeterminism (wall clocks, global RNGs, hardware entropy) and must not
+iterate hash-ordered containers in a way that can leak iteration order
+into output.
+
+Checks
+------
+1. Banned tokens: `rand(`/`srand(` (global C RNG), `std::random_device`
+   (hardware entropy; deterministic code draws from `common/random.h`
+   seeded by configuration), `time(`/`clock(`/`gettimeofday(` and the
+   std::chrono clocks (timestamps must never steer results; timing lives
+   in bench/, not in the scanned layers).
+2. Range-for loops over variables declared as `std::unordered_map` /
+   `std::unordered_set` in the same file. Iteration order is
+   implementation-defined, so any such loop in a result-producing layer
+   is flagged; loops whose output provably does not depend on order
+   (commutative merges, re-sorted downstream) are allowlisted with a
+   written justification in tools/determinism_allowlist.txt.
+
+Allowlist format: `path:identifier` (for loop findings) or
+`path:token` (for banned-token findings), `#` comments and blank lines
+ignored. Paths are repo-relative with forward slashes. An allowlist entry
+that matches nothing fails the lint, so entries cannot outlive the code
+they excuse.
+
+Exit status: 0 clean, 1 findings (or stale allowlist entries).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src/core", "src/exec", "src/api"]
+ALLOWLIST = REPO / "tools" / "determinism_allowlist.txt"
+
+# Token name -> (regex, reason shown in the report).
+BANNED = {
+    "rand": (re.compile(r"(?<![\w:.])s?rand\s*\("),
+             "global C RNG; use a seeded common/random.h Rng"),
+    "random_device": (re.compile(r"std::random_device"),
+                      "hardware entropy; results must derive from the key"),
+    "time": (re.compile(r"(?<![\w:.])(time|clock|gettimeofday)\s*\("),
+             "wall/CPU clock in a result-producing layer"),
+    "chrono_clock": (re.compile(
+        r"std::chrono::(system|steady|high_resolution)_clock"),
+        "clock reads must never steer results (timing lives in bench/)"),
+}
+
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}()]*>\s*&?\s*(\w+)\s*[;={(]")
+RANGE_FOR = re.compile(r"for\s*\(\s*[^;)]*?:\s*\*?&?([A-Za-z_]\w*)\s*\)")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments and string literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if state == "line" and c == "\n":
+                state = None
+                out.append(c)
+            elif state == "block" and c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 1
+            elif state in "\"'" and c == "\\":
+                out.append("  ")
+                i += 1
+            elif state in "\"'" and c == state:
+                state = None
+                out.append(c)
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def load_allowlist():
+    entries = {}
+    if ALLOWLIST.exists():
+        for raw in ALLOWLIST.read_text().splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                entries[line] = 0
+    return entries
+
+
+def main() -> int:
+    allow = load_allowlist()
+    findings = []
+
+    for scan_dir in SCAN_DIRS:
+        for path in sorted((REPO / scan_dir).rglob("*")):
+            if path.suffix not in {".h", ".cc"}:
+                continue
+            rel = path.relative_to(REPO).as_posix()
+            code = strip_comments(path.read_text())
+            lines = code.splitlines()
+
+            for token, (pattern, reason) in BANNED.items():
+                for idx, line in enumerate(lines, 1):
+                    if pattern.search(line):
+                        key = f"{rel}:{token}"
+                        if key in allow:
+                            allow[key] += 1
+                        else:
+                            findings.append(
+                                f"{rel}:{idx}: banned token '{token}' "
+                                f"({reason})")
+
+            hash_ordered = set(UNORDERED_DECL.findall(code))
+            for idx, line in enumerate(lines, 1):
+                for var in RANGE_FOR.findall(line):
+                    if var in hash_ordered:
+                        key = f"{rel}:{var}"
+                        if key in allow:
+                            allow[key] += 1
+                        else:
+                            findings.append(
+                                f"{rel}:{idx}: range-for over hash-ordered "
+                                f"'{var}' — iteration order may leak into "
+                                f"output; sort, or allowlist with a "
+                                f"justification")
+
+    stale = [entry for entry, hits in allow.items() if hits == 0]
+    for entry in stale:
+        findings.append(
+            f"{ALLOWLIST.relative_to(REPO).as_posix()}: stale allowlist "
+            f"entry '{entry}' matches nothing — remove it")
+
+    if findings:
+        print("determinism lint: FAIL")
+        for f in findings:
+            print("  " + f)
+        return 1
+    scanned = ", ".join(SCAN_DIRS)
+    print(f"determinism lint: OK ({scanned}; "
+          f"{len(allow)} allowlisted exception(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
