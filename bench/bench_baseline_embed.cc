@@ -53,7 +53,7 @@ int main() {
       "baseline embed hot paths: WM-OBT parallel GA, WM-RVS, multi-WM",
       "system scale-out of the paper's §IV-D/§VI baselines (ISSUE 4)");
 
-  bool all_identical = true;
+  fb::IdentityGate gate;
   std::ostringstream json;
   json << "{\n  \"bench\": \"baseline_embed\",\n  \"reps\": " << Reps()
        << ",\n  \"hardware_threads\": " << ThreadPool::HardwareThreads()
@@ -103,8 +103,9 @@ int main() {
     double best = fb::BestOfReps(Reps(), [&] {
       parallel = EmbedWmObt(hist, obt, exec);
     });
-    bool identical = SameEntries(parallel, serial);
-    all_identical = all_identical && identical;
+    bool identical = gate.Check(
+        "WM-OBT @" + std::to_string(threads) + " threads vs 1-thread",
+        SameEntries(parallel, serial));
     best_speedup_vs_reference =
         std::max(best_speedup_vs_reference, ref_best / best);
     std::printf("%9zu threads             %12.4f s  %8.2fx   vs reference "
@@ -153,7 +154,9 @@ int main() {
                   side.entries[i].original_digit ==
                       rvs_serial_side.entries[i].original_digit;
     }
-    all_identical = all_identical && identical;
+    identical = gate.Check(
+        "WM-RVS @" + std::to_string(threads) + " threads vs serial",
+        identical);
     std::printf("%9zu threads             %12.4f s  %8.2fx   %s\n", threads,
                 best, rvs_serial_best / best,
                 identical ? "identical to serial" : "MISMATCH");
@@ -199,7 +202,9 @@ int main() {
         SameEntries(parallel.value().final_histogram,
                     mwm_serial.value().final_histogram) &&
         parallel.value().layers == mwm_serial.value().layers;
-    all_identical = all_identical && identical;
+    identical = gate.Check(
+        "multi-watermark @" + std::to_string(threads) + " threads vs serial",
+        identical);
     std::printf("%9zu threads             %12.4f s  %8.2fx   %s\n", threads,
                 best, mwm_serial_best / best,
                 identical ? "identical to serial" : "MISMATCH");
@@ -210,14 +215,9 @@ int main() {
     first_row = false;
   }
   json << "]},\n  \"all_identical\": "
-       << (all_identical ? "true" : "false") << "\n}\n";
+       << (gate.all_identical() ? "true" : "false") << "\n}\n";
 
   fb::WriteJsonFile(fb::JsonOutputPath("BENCH_baseline_embed.json"),
                     json.str());
-  if (!all_identical) {
-    std::printf("\nIDENTITY CHECK FAILED: a parallel baseline-embed path "
-                "diverged from its serial reference\n");
-    return 1;
-  }
-  return 0;
+  return gate.Finish();
 }

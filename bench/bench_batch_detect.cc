@@ -187,7 +187,7 @@ int main() {
       "batch detection engine: serial vs parallel (suspects x keys)",
       "system scale-out of the paper's \"verify very fast\" claim (§I)");
 
-  bool all_identical = true;
+  bench::IdentityGate gate;
   std::ostringstream json;
   json << "{\n  \"bench\": \"batch_detect\",\n  \"reps\": " << Reps()
        << ",\n";
@@ -228,8 +228,9 @@ int main() {
     double best = BestOfReps([&] {
       results = parallel.Run(suspects, keys, &pool);
     });
-    bool identical = results == reference;
-    all_identical = all_identical && identical;
+    bool identical = gate.Check(
+        "mixed matrix @" + std::to_string(threads) + " threads vs serial",
+        results == reference);
     std::printf("%8zu  %12.4f  %10.0f  %8.2fx  %s\n", threads, best,
                 cells / best, serial_best / best,
                 identical ? "identical to serial" : "MISMATCH");
@@ -268,8 +269,9 @@ int main() {
     BatchDetector engine(opts);
     std::vector<std::vector<DetectResult>> results;
     double best = BestOfReps([&] { results = engine.Run(fw_suspects, fw_keys); });
-    bool identical = results == fw_reference;
-    all_identical = all_identical && identical;
+    bool identical = gate.Check(
+        "prepared engine @" + std::to_string(threads) + " threads vs PR 2",
+        results == fw_reference);
     best_speedup = std::max(best_speedup, before_best / best);
     std::printf("%9zu thread  %12.4f  %10.0f  %8.2fx  %s\n", threads, best,
                 fw_cells / best, before_best / best,
@@ -292,11 +294,12 @@ int main() {
   double pr3_best = BestOfReps([&] {
     pr3_matrix = Pr3PreparedSerialMatrix(fw_suspects, fw_keys);
   });
-  bool pr3_identical = pr3_matrix == fw_reference;
+  bool pr3_identical =
+      gate.Check("PR 3 prepared loop vs PR 2 reference",
+                 pr3_matrix == fw_reference);
   // Section-local accumulator: the stream JSON must report *this*
   // section's identity, not inherit a mismatch from the earlier matrices.
   bool stream_identical = pr3_identical;
-  all_identical = all_identical && pr3_identical;
   std::printf("%22s  %12.4f  %10.0f  %9s  %s\n", "before (PR 3 prepared)",
               pr3_best, fw_cells / pr3_best, "1.00x",
               pr3_identical ? "identical" : "MISMATCH");
@@ -350,9 +353,11 @@ int main() {
                          StreamChunked(session, fw_suspects, chunk) ==
                              fw_reference;
     }
-    identical = identical && chunks_identical;
+    identical = gate.Check(
+        "streaming session @" + std::to_string(threads) +
+            " threads (one-shot + chunked 1/8) vs PR 2",
+        identical && chunks_identical);
     stream_identical = stream_identical && identical;
-    all_identical = all_identical && identical;
     if (threads == 1) {
       stream_best_speedup = pr3_best / warm_best;
     }
@@ -408,9 +413,11 @@ int main() {
     double best = BestOfReps([&] {
       sharded = BuildHistogramSharded(dataset, pool);
     });
-    bool identical = sharded.entries() == serial_hist.entries() &&
-                     sharded.total_count() == serial_hist.total_count();
-    all_identical = all_identical && identical;
+    bool identical = gate.Check(
+        "sharded histogram @" + std::to_string(threads) +
+            " threads vs serial",
+        sharded.entries() == serial_hist.entries() &&
+            sharded.total_count() == serial_hist.total_count());
     std::printf("%7zut  %12.4f  %10.1f Mrows/s  %8.2fx  %s\n", threads,
                 best, dataset.size() / best / 1e6, build_serial / best,
                 identical ? "identical to serial" : "MISMATCH");
@@ -421,14 +428,9 @@ int main() {
     first_row = false;
   }
   json << "]},\n  \"all_identical\": "
-       << (all_identical ? "true" : "false") << "\n}\n";
+       << (gate.all_identical() ? "true" : "false") << "\n}\n";
 
   bench::WriteJsonFile(bench::JsonOutputPath("BENCH_batch_detect.json"),
                        json.str());
-  if (!all_identical) {
-    std::printf("\nIDENTITY CHECK FAILED: a parallel or prepared path "
-                "diverged from its serial reference\n");
-    return 1;
-  }
-  return 0;
+  return gate.Finish();
 }

@@ -123,6 +123,44 @@ inline std::string JsonOutputPath(const std::string& filename) {
   return std::string(dir) + "/" + filename;
 }
 
+/// The shared identity gate (DESIGN.md §12): every bench that emits a
+/// BENCH_*.json artifact routes its optimized-vs-reference comparisons
+/// through one of these, so CI's "fail on identity mismatch, never on
+/// timing" policy has a single auditable implementation — enforced by
+/// wmlint's `identity_gate` check. `Check` prints per-comparison
+/// verdicts; `Finish` prints the verdict line and returns the process
+/// exit status.
+class IdentityGate {
+ public:
+  /// Records one comparison. Returns `identical` so call sites can keep
+  /// feeding section-local flags into their JSON report.
+  bool Check(const std::string& what, bool identical) {
+    ++checks_;
+    if (!identical) {
+      failed_ = true;
+      std::printf("IDENTITY MISMATCH: %s\n", what.c_str());
+    }
+    return identical;
+  }
+
+  bool all_identical() const { return !failed_; }
+  size_t checks() const { return checks_; }
+
+  /// Prints the final verdict; 0 when every `Check` passed, 1 otherwise.
+  int Finish() const {
+    if (failed_) {
+      std::printf("\nidentity gate: FAIL (%zu comparison(s) run)\n", checks_);
+      return 1;
+    }
+    std::printf("\nidentity gate: OK (%zu comparison(s) run)\n", checks_);
+    return 0;
+  }
+
+ private:
+  size_t checks_ = 0;
+  bool failed_ = false;
+};
+
 /// Writes `content` to `path`, reporting success on stdout so CI logs show
 /// where the artifact landed.
 inline bool WriteJsonFile(const std::string& path,

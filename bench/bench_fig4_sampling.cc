@@ -7,6 +7,11 @@
 // t (paper: ~36% at t=0 to ~99.5% at t=10; >90% detection on a 20% sample);
 // (b) below ~2x the token count (Fig. 4) detection decays rapidly because
 // the sample no longer contains the watermarked tokens at all.
+//
+// Converted to the unified API: embedding and detection go through
+// `WatermarkScheme` ("freqywm" from the factory). The §V-B rescale step
+// (`DetectOnSample`) is `DetectOptions::rescale_factor` — the owner knows
+// the original total from metadata and scales the sample's counts back up.
 
 #include "attacks/sampling.h"
 #include "bench_common.h"
@@ -18,17 +23,34 @@ int main() {
   fb::PrintBanner("Fig. 4 / §V-B — sampling attack",
                   "ICDE'24 FreqyWM Figure 4 (alpha=0.5, z=131, b=2)");
   Histogram original = fb::MakeSynthetic(0.5, 42);
-  GenerateOptions o =
-      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
-  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  OptionBag bag;
+  bag.Set("budget", "2.0");
+  bag.Set("z", "131");
+  bag.Set("strategy", "optimal");
+  bag.Set("seed", "42");
+  auto scheme = SchemeFactory::Create("freqywm", bag);
+  if (!scheme.ok()) {
+    std::printf("factory failed: %s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  auto r = scheme.value()->Embed(original);
   if (!r.ok()) {
     std::printf("generation failed: %s\n", r.status().ToString().c_str());
     return 1;
   }
   const Histogram& wm = r.value().watermarked;
-  const auto& secrets = r.value().report.secrets;
-  const size_t chosen = r.value().report.chosen_pairs;
-  std::printf("watermarked pairs: %zu (paper: 139)\n\n", chosen);
+  const SchemeKey& key = r.value().key;
+  std::printf("watermarked pairs: %zu (paper: 139)\n\n",
+              r.value().report.embedded_units);
+
+  // The §V-B owner-side rescale: suspect counts are multiplied by
+  // original/sample before the residue test (0 disables when the sample
+  // is empty).
+  auto rescale = [&wm](const Histogram& sample) {
+    if (sample.total_count() == 0) return 0.0;
+    return static_cast<double>(wm.total_count()) /
+           static_cast<double>(sample.total_count());
+  };
 
   const uint64_t kThresholds[] = {0, 1, 2, 4, 10};
 
@@ -46,7 +68,8 @@ int main() {
       DetectOptions d;
       d.pair_threshold = t;
       d.min_pairs = 1;
-      DetectResult dr = DetectOnSample(sample, wm.total_count(), secrets, d);
+      d.rescale_factor = rescale(sample);
+      DetectResult dr = scheme.value()->Detect(sample, key, d);
       std::printf(" %-10.3f", dr.verified_fraction);
     }
     std::printf("\n");
@@ -66,7 +89,8 @@ int main() {
       DetectOptions d;
       d.pair_threshold = t;
       d.min_pairs = 1;
-      DetectResult dr = DetectOnSample(sample, wm.total_count(), secrets, d);
+      d.rescale_factor = rescale(sample);
+      DetectResult dr = scheme.value()->Detect(sample, key, d);
       std::printf(" %-10.3f", dr.verified_fraction);
     }
     std::printf("\n");

@@ -3,6 +3,10 @@
 // Expected: success frequency indistinguishable from the analytical
 // chance bound and zero for strict thresholds — the negligible-in-lambda
 // claim made measurable.
+//
+// Converted to the unified API: the victim watermark is embedded through
+// `WatermarkScheme` ("freqywm" from the factory); the attack itself stays
+// a core-level primitive because the adversary by definition has no key.
 
 #include "attacks/guess.h"
 #include "bench_common.h"
@@ -14,9 +18,14 @@ int main() {
   fb::PrintBanner("§V-A — guess (brute force) attack",
                   "ICDE'24 FreqyWM §V-A");
   Histogram original = fb::MakeSynthetic(0.5, 42);
-  GenerateOptions o =
-      fb::MakeOptions(2.0, 131, SelectionStrategy::kOptimal, 42);
-  auto r = WatermarkGenerator(o).GenerateFromHistogram(original);
+  OptionBag bag;
+  bag.Set("budget", "2.0");
+  bag.Set("z", "131");
+  bag.Set("strategy", "optimal");
+  bag.Set("seed", "42");
+  auto scheme = SchemeFactory::Create("freqywm", bag);
+  if (!scheme.ok()) return 1;
+  auto r = scheme.value()->Embed(original);
   if (!r.ok()) return 1;
 
   std::printf("%-8s %-6s %-6s %-10s %-12s %-16s\n", "attempts", "k", "t",

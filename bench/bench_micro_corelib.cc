@@ -287,7 +287,7 @@ int RunPairEnumAcceptance() {
   };
   const int reps = bench::PerfSmoke() ? 1 : 2;
   const uint64_t z = 1031;
-  bool all_identical = true;
+  bench::IdentityGate gate;
 
   std::printf("\npair enumeration at 10k tokens: reference (PR 2) vs "
               "midstate+pruning (z=%llu, kPaper, min_pair_cost=1)\n",
@@ -312,8 +312,9 @@ int RunPairEnumAcceptance() {
       optimized =
           BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2, 1);
     });
-    bool serial_identical = optimized == reference;
-    all_identical = all_identical && serial_identical;
+    bool serial_identical = gate.Check(
+        std::string(load.name) + ": serial scan vs reference",
+        optimized == reference);
 
     std::printf("\n[%s] tokens=%zu samples=%zu |Le|=%zu\n", load.name,
                 load.tokens, load.samples, reference.size());
@@ -341,8 +342,10 @@ int RunPairEnumAcceptance() {
         parallel = BuildEligiblePairs(hist, pm, EligibilityRule::kPaper, 2,
                                       1, exec);
       });
-      bool identical = parallel == reference;
-      all_identical = all_identical && identical;
+      bool identical = gate.Check(
+          std::string(load.name) + " @" + std::to_string(threads) +
+              " threads vs reference",
+          parallel == reference);
       std::printf("%9zu thread  %10.3fs  %7.2fx  %s\n", threads, seconds,
                   ref_seconds / seconds,
                   identical ? "identical" : "MISMATCH");
@@ -355,15 +358,10 @@ int RunPairEnumAcceptance() {
     json << "]}" << (w + 1 < 2 ? "," : "") << "\n";
   }
   json << "  ],\n  \"all_identical\": "
-       << (all_identical ? "true" : "false") << "\n}\n";
+       << (gate.all_identical() ? "true" : "false") << "\n}\n";
   bench::WriteJsonFile(bench::JsonOutputPath("BENCH_pair_enum.json"),
                        json.str());
-  if (!all_identical) {
-    std::printf("\nIDENTITY CHECK FAILED: optimized scan diverged from the "
-                "reference\n");
-    return 1;
-  }
-  return 0;
+  return gate.Finish();
 }
 
 }  // namespace

@@ -2,6 +2,12 @@
 // token [Age, WorkClass] (paper: 481 distinct tokens, 20 pairs chosen at
 // z = 131, b = 2) and verifying that frequency increases replicate donor
 // rows rather than inventing attribute combinations.
+//
+// Partially converted to the unified API: verification goes through
+// `WatermarkScheme::Detect` with a portable `SchemeKey` — the owner's
+// proof artifact is the same blob whether the claim is histogram- or
+// table-level. Embedding stays on `WatermarkTable` because the scheme
+// interface has no composite-token table path yet (ROADMAP residual).
 
 #include <set>
 
@@ -17,6 +23,12 @@ int main() {
                   "ICDE'24 FreqyWM §IV-C (z=131, b=2)");
   Rng rng(11);
   TableDataset adult = MakeAdultLikeTable(rng, 48842);
+
+  auto scheme = SchemeFactory::Create("freqywm");
+  if (!scheme.ok()) {
+    std::printf("factory failed: %s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
 
   const std::vector<std::vector<std::string>> token_defs = {
       {"Age"}, {"Age", "WorkClass"}, {"Age", "WorkClass", "Education"}};
@@ -38,29 +50,40 @@ int main() {
                   hist.num_tokens(), r.status().ToString().c_str());
       continue;
     }
+
+    // The owner's claim artifact: the table embed's secrets packaged as a
+    // portable SchemeKey, verified by re-projecting the suspect table's
+    // token columns and running scheme-level detection.
+    SchemeKey key{"freqywm", r.value().report.secrets.Serialize()};
+    auto suspect_rows = r.value().watermarked.ProjectTokens(cols);
+    if (!suspect_rows.ok()) {
+      std::printf("%-28s projection failed (%s)\n", name.c_str(),
+                  suspect_rows.status().ToString().c_str());
+      continue;
+    }
     DetectOptions d;
     d.pair_threshold = 0;
     d.min_pairs = r.value().report.chosen_pairs;
-    auto dr = DetectTableWatermark(r.value().watermarked, cols,
-                                   r.value().report.secrets, d);
+    DetectResult dr = scheme.value()->Detect(
+        Histogram::FromDataset(suspect_rows.value()), key, d);
     std::printf("%-28s %-10zu %-8zu %-8zu %-12.4f %-10s\n", name.c_str(),
                 hist.num_tokens(), r.value().report.eligible_pairs,
                 r.value().report.chosen_pairs,
                 r.value().report.similarity_percent,
-                dr.ok() && dr.value().accepted ? "yes" : "NO");
+                dr.accepted ? "yes" : "NO");
 
     // Semantic-consistency audit: no invented attribute combination.
     std::set<std::string> combos;
     for (size_t i = 0; i < adult.num_rows(); ++i) {
-      std::string key;
-      for (const auto& v : adult.row(i)) key += v + "|";
-      combos.insert(key);
+      std::string key_str;
+      for (const auto& v : adult.row(i)) key_str += v + "|";
+      combos.insert(key_str);
     }
     size_t invented = 0;
     for (size_t i = 0; i < r.value().watermarked.num_rows(); ++i) {
-      std::string key;
-      for (const auto& v : r.value().watermarked.row(i)) key += v + "|";
-      if (!combos.count(key)) ++invented;
+      std::string key_str;
+      for (const auto& v : r.value().watermarked.row(i)) key_str += v + "|";
+      if (!combos.count(key_str)) ++invented;
     }
     std::printf("  -> invented attribute combinations after transform: %zu\n",
                 invented);

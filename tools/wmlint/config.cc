@@ -1,0 +1,245 @@
+#include "wmlint/config.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace wmlint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream in(s);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+void ConfigError(const std::string& path, int line, const std::string& msg,
+                 std::vector<Finding>* findings) {
+  findings->push_back({"config", path, line, "", msg});
+}
+
+}  // namespace
+
+bool FindingLess(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.check != b.check) return a.check < b.check;
+  if (a.key != b.key) return a.key < b.key;
+  return a.message < b.message;
+}
+
+Allowlist Allowlist::Parse(const std::string& path,
+                           const std::string& content,
+                           std::vector<Finding>* findings) {
+  Allowlist out;
+  out.path_ = path;
+  std::istringstream in(content);
+  std::string raw;
+  int lineno = 0;
+  // A rationale "block" is the run of comment lines since the last
+  // blank line; an entry inherits it, or carries its own inline `#`.
+  bool block_has_comment = false;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = Trim(raw);
+    if (line.empty()) {
+      block_has_comment = false;
+      continue;
+    }
+    if (line[0] == '#') {
+      block_has_comment = true;
+      continue;
+    }
+    size_t hash = line.find('#');
+    bool inline_comment = hash != std::string::npos;
+    std::string entry = Trim(inline_comment ? line.substr(0, hash) : line);
+    if (entry.empty()) continue;
+    if (!inline_comment && !block_has_comment) {
+      ConfigError(path, lineno,
+                  "allowlist entry '" + entry +
+                      "' has no rationale — add a comment block above it "
+                      "or an inline '# why' (DESIGN.md §12)",
+                  findings);
+    }
+    if (!out.entries_.emplace(entry, Entry{lineno, false}).second) {
+      ConfigError(path, lineno, "duplicate allowlist entry '" + entry + "'",
+                  findings);
+    }
+  }
+  return out;
+}
+
+bool Allowlist::Claim(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.used = true;
+  return true;
+}
+
+void Allowlist::ReportStale(std::vector<Finding>* findings) const {
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.used) {
+      findings->push_back(
+          {"config", path_, entry.line, "",
+           "stale allowlist entry '" + key +
+               "' matches nothing — remove it (entries must not outlive "
+               "the code they excuse)"});
+    }
+  }
+}
+
+LayerConfig LayerConfig::Parse(const std::string& path,
+                               const std::string& content,
+                               std::vector<Finding>* findings) {
+  LayerConfig out;
+  out.path_ = path;
+  std::istringstream in(content);
+  std::string raw;
+  int lineno = 0;
+
+  auto require_layer = [&](const std::string& name) {
+    if (!out.layers_.count(name)) {
+      ConfigError(path, lineno, "undeclared layer '" + name + "'", findings);
+      return false;
+    }
+    return true;
+  };
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+
+    if (words[0] == "layer" && words.size() == 2) {
+      if (!out.layers_.insert(words[1]).second) {
+        ConfigError(path, lineno, "duplicate layer '" + words[1] + "'",
+                    findings);
+      }
+      out.stratum_of_.emplace(words[1], words[1]);
+    } else if (words[0] == "stratum" && words.size() >= 3) {
+      for (size_t i = 1; i < words.size(); ++i) {
+        if (require_layer(words[i])) out.stratum_of_[words[i]] = words[1];
+      }
+    } else if ((words[0] == "allow" || words[0] == "forbid") &&
+               words.size() == 4 && words[2] == "->") {
+      if (!require_layer(words[1]) || !require_layer(words[3])) continue;
+      auto edge = std::make_pair(words[1], words[3]);
+      if (words[0] == "allow") {
+        if (out.stratum_of_[words[1]] == out.stratum_of_[words[3]]) {
+          ConfigError(path, lineno,
+                      "allow " + words[1] + " -> " + words[3] +
+                          " is implicit (same layer or stratum); remove it",
+                      findings);
+          continue;
+        }
+        if (!out.allow_.emplace(edge, AllowEdge{lineno, false}).second) {
+          ConfigError(path, lineno,
+                      "duplicate allow " + words[1] + " -> " + words[3],
+                      findings);
+        }
+      } else {
+        out.forbid_.emplace(edge, lineno);
+      }
+    } else {
+      ConfigError(path, lineno, "unparsable layers.txt statement: '" +
+                                    Trim(raw) + "'",
+                  findings);
+    }
+  }
+
+  // allow/forbid conflicts are config errors, not tie-breaks.
+  for (const auto& [edge, line] : out.forbid_) {
+    if (out.allow_.count(edge)) {
+      ConfigError(path, line,
+                  "edge " + edge.first + " -> " + edge.second +
+                      " is both allowed and forbidden",
+                  findings);
+    }
+  }
+
+  // Acyclicity of the declared allow edges (DFS 3-coloring): a cycle
+  // among `allow` statements means the config no longer describes a
+  // layering and is rejected at parse time. Mutual dependence is legal
+  // only inside a declared `stratum` — strata are the explicit,
+  // documented carve-out, never an emergent property of allow edges.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, unused] : out.allow_) {
+    (void)unused;
+    adj[edge.first].insert(edge.second);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  bool cyclic = false;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = 1;
+    for (const auto& m : adj[n]) {
+      if (color[m] == 1) cyclic = true;
+      if (color[m] == 0) dfs(m);
+    }
+    color[n] = 2;
+  };
+  for (const auto& [n, unused] : adj) {
+    (void)unused;
+    if (color[n] == 0) dfs(n);
+  }
+  if (cyclic) {
+    ConfigError(path, 0,
+                "allow edges form a cycle across strata — declare the knot "
+                "as a 'stratum' or remove an edge",
+                findings);
+  }
+
+  out.loaded_ = true;
+  return out;
+}
+
+std::string LayerConfig::JudgeEdge(const std::string& from,
+                                   const std::string& to) {
+  if (from == to) return "";
+  if (!layers_.count(to)) {
+    return "include target layer '" + to + "' is not declared in " + path_;
+  }
+  if (!layers_.count(from)) {
+    return "source layer '" + from + "' is not declared in " + path_;
+  }
+  auto edge = std::make_pair(from, to);
+  auto forbidden = forbid_.find(edge);
+  if (forbidden != forbid_.end()) {
+    return "forbidden include edge " + from + " -> " + to + " (" + path_ +
+           ":" + std::to_string(forbidden->second) + ")";
+  }
+  if (stratum_of_.at(from) == stratum_of_.at(to)) return "";
+  auto it = allow_.find(edge);
+  if (it == allow_.end()) {
+    return "undeclared include edge " + from + " -> " + to +
+           " — add 'allow " + from + " -> " + to + "' to " + path_ +
+           " with a rationale, or break the dependency";
+  }
+  it->second.used = true;
+  return "";
+}
+
+void LayerConfig::ReportStale(std::vector<Finding>* findings) const {
+  for (const auto& [edge, info] : allow_) {
+    if (!info.used) {
+      findings->push_back(
+          {"config", path_, info.line, "",
+           "stale allow edge " + edge.first + " -> " + edge.second +
+               " — no include uses it; remove it"});
+    }
+  }
+}
+
+}  // namespace wmlint

@@ -1,0 +1,102 @@
+#ifndef FREQYWM_TOOLS_WMLINT_CONFIG_H_
+#define FREQYWM_TOOLS_WMLINT_CONFIG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wmlint/finding.h"
+
+namespace wmlint {
+
+/// An audited allowlist (DESIGN.md §12). One entry per line; `#` starts
+/// a comment; blank lines separate rationale blocks. Every entry must
+/// carry a written rationale — either an inline `# ...` comment or a
+/// comment block between the previous blank line and the entry — and
+/// every entry must be *claimed* by a real finding during the run:
+/// entries nobody claims are reported stale, so an allowlist entry can
+/// never outlive the code it excuses.
+class Allowlist {
+ public:
+  /// Parses `content` of the allowlist at repo-relative `path`.
+  /// Entries without a rationale become `config` findings. A missing
+  /// file parses as an empty allowlist (pass `""`).
+  static Allowlist Parse(const std::string& path, const std::string& content,
+                         std::vector<Finding>* findings);
+
+  /// True (and the entry is marked used) when `key` is allowlisted.
+  bool Claim(const std::string& key);
+
+  /// Appends one `config` finding per never-claimed entry.
+  void ReportStale(std::vector<Finding>* findings) const;
+
+  size_t size() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    int line = 0;
+    bool used = false;
+  };
+  std::string path_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The layer-DAG config parsed from tools/wmlint/layers.txt. Grammar
+/// (one statement per line, `#` comments):
+///
+///   layer NAME            — declare a layer (a top-level directory of
+///                           src/, plus `bench`)
+///   stratum A B ...       — declare layers that are one strongly
+///                           connected component: includes among them
+///                           are implicitly legal (the repo's
+///                           core<->exec<->api knot, ROADMAP §open)
+///   allow A -> B          — A may include from B
+///   forbid A -> B         — A must never include from B, even via a
+///                           later `allow` (conflict = config error)
+///
+/// Parse-time validation: every referenced layer must be declared; the
+/// declared allow edges must form a DAG over layers (mutual dependence
+/// is only legal inside an explicit `stratum`, never emergent from
+/// allow edges); an allow edge inside a stratum is redundant and
+/// rejected.
+/// The config doubles as the layering check's allowlist: allow edges no
+/// include uses are reported stale.
+class LayerConfig {
+ public:
+  static LayerConfig Parse(const std::string& path, const std::string& content,
+                           std::vector<Finding>* findings);
+
+  bool has_layer(const std::string& name) const {
+    return layers_.count(name) != 0;
+  }
+
+  /// Judges the include edge `from` -> `to`. Returns "" when legal
+  /// (same layer, same stratum, or a matching `allow`, which is marked
+  /// used); otherwise a message naming the missing or forbidden edge.
+  std::string JudgeEdge(const std::string& from, const std::string& to);
+
+  /// Appends one `config` finding per never-used allow edge.
+  void ReportStale(std::vector<Finding>* findings) const;
+
+  const std::string& path() const { return path_; }
+  bool loaded() const { return loaded_; }
+
+ private:
+  std::string path_;
+  bool loaded_ = false;
+  std::set<std::string> layers_;
+  std::map<std::string, std::string> stratum_of_;  // layer -> stratum rep
+  struct AllowEdge {
+    int line = 0;
+    bool used = false;
+  };
+  std::map<std::pair<std::string, std::string>, AllowEdge> allow_;
+  std::map<std::pair<std::string, std::string>, int> forbid_;
+};
+
+}  // namespace wmlint
+
+#endif  // FREQYWM_TOOLS_WMLINT_CONFIG_H_

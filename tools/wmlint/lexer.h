@@ -1,0 +1,54 @@
+#ifndef FREQYWM_TOOLS_WMLINT_LEXER_H_
+#define FREQYWM_TOOLS_WMLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace wmlint {
+
+/// Token kinds of the wmlint lexer. The lexer is a real C++ scanner —
+/// line and block comments, plain/char/raw string literals and
+/// preprocessor directives are recognized structurally, never by regex —
+/// so checks operate on code tokens only and a `rand(` inside a comment
+/// or a string can never produce a finding (DESIGN.md §12).
+enum class TokKind {
+  kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      // digit-led literal, including 1'000'000 / 0x1f / 1e-9
+  kString,      // "..." or R"delim(...)delim"; text() is the *contents*
+  kChar,        // '...'
+  kPunct,       // one operator/punctuator; "::" and "->" fuse to one token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One `#include` directive. `path` is the include target; `angled`
+/// distinguishes `<...>` (system, ignored by the layering check) from
+/// `"..."` (first-party, resolved against `src/`).
+struct IncludeDirective {
+  std::string path;
+  bool angled = false;
+  int line = 0;
+};
+
+/// A lexed source file. `path` is repo-relative with forward slashes.
+/// Preprocessor directive lines (including continuations) are consumed
+/// whole: `#include` targets land in `includes`, every other directive
+/// (guards, macro definitions, pragmas) contributes no tokens — so the
+/// GUARDED_BY audit never mistakes a macro *definition* for a member
+/// declaration.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lexes `content` (the bytes of the file at repo-relative `path`).
+LexedFile LexSource(const std::string& path, const std::string& content);
+
+}  // namespace wmlint
+
+#endif  // FREQYWM_TOOLS_WMLINT_LEXER_H_

@@ -1,0 +1,7 @@
+namespace fixture {
+
+// Intentionally clean file: every finding in this fixture must come from
+// the config itself (stale entry, missing rationale).
+int Nothing() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+// rand() in a result-producing layer.
+int Jitter() { return rand() % 7; }
+
+// Range-for over a hash-ordered container declared in this file.
+std::vector<int> Walk() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  std::vector<int> out;
+  for (const auto& kv : counts) {
+    out.push_back(kv.second);
+  }
+  return out;
+}
+
+// Pointer-keyed ordered container: iteration order follows allocation
+// addresses, not a stable id.
+int Score(Node* a, Node* b) {
+  std::map<Node*, int> scores;
+  scores[a] = 1;
+  scores[b] = 2;
+  int total = 0;
+  for (const auto& kv : scores) total += kv.second;
+  return total;
+}
+
+}  // namespace fixture

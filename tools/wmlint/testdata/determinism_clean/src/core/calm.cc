@@ -1,0 +1,23 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// The iteration below is order-insensitive (sum) and allowlisted; the
+// sorted output path is the idiomatic alternative.
+int Total() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+
+std::vector<int> Sorted() {
+  std::vector<int> keys = {3, 1, 2};
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+#ifndef FIXTURE_EXEC_WIDGET_H_
+#define FIXTURE_EXEC_WIDGET_H_
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+// Mutex-owning class with one annotated and one naked mutable member —
+// the naked one must be flagged.
+class Widget {
+ public:
+  int Get() const;
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int annotated_ GUARDED_BY(mu_) = 0;
+  int count_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_EXEC_WIDGET_H_

@@ -1,0 +1,25 @@
+#ifndef FIXTURE_EXEC_WIDGET_H_
+#define FIXTURE_EXEC_WIDGET_H_
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+// Every mutable member is either annotated or allowlisted; statics,
+// constants and atomics are exempt by rule.
+class Widget {
+ public:
+  int Get() const;
+  void Bump();
+
+ private:
+  static constexpr int kLimit = 8;
+  Mutex mu_;
+  std::atomic<int> hits_{0};
+  int annotated_ GUARDED_BY(mu_) = 0;
+  int excused_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_EXEC_WIDGET_H_

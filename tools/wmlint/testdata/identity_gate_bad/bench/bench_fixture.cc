@@ -1,0 +1,11 @@
+#include <cstdio>
+#include <string>
+
+// Emits a BENCH_*.json artifact but never routes its comparisons through
+// the shared IdentityGate — the check must flag the file.
+int main() {
+  bool identical = true;
+  std::string json = "{\"identical\": true}";
+  std::printf("writing %s\n", "BENCH_fixture.json");
+  return identical ? 0 : 1;
+}

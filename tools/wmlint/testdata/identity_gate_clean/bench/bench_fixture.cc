@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+// Routes its comparisons through the shared IdentityGate before writing
+// the BENCH_*.json artifact.
+int main() {
+  fixture::IdentityGate gate;
+  gate.Check("a vs b", true);
+  std::printf("writing %s\n", "BENCH_fixture.json");
+  return gate.Finish();
+}

@@ -1,0 +1,12 @@
+#ifndef FIXTURE_CORE_USES_API_H_
+#define FIXTURE_CORE_USES_API_H_
+
+#include "api/scheme.h"
+
+namespace fixture {
+
+inline int CoreThing() { return 1; }
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CORE_USES_API_H_

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_CORE_USES_COMMON_H_
+#define FIXTURE_CORE_USES_COMMON_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/sibling.h"
+
+namespace fixture {
+
+inline int CoreThing() { return 1; }
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CORE_USES_COMMON_H_

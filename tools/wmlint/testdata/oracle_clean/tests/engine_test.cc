@@ -1,0 +1,11 @@
+#include "exec/engine.h"
+
+namespace fixture {
+
+// Exercises both oracles so the contract check sees them referenced.
+void IdentityHarness() {
+  ComputeReference(7);
+  Shard(7);
+}
+
+}  // namespace fixture

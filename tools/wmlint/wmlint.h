@@ -1,0 +1,45 @@
+#ifndef FREQYWM_TOOLS_WMLINT_WMLINT_H_
+#define FREQYWM_TOOLS_WMLINT_WMLINT_H_
+
+#include <string>
+#include <vector>
+
+#include "wmlint/finding.h"
+
+namespace wmlint {
+
+/// The registered check names, in report order.
+const std::vector<std::string>& AllCheckNames();
+
+struct RunOptions {
+  /// Repo root: src/ + bench/ are scanned, tests/ feeds the oracle
+  /// check's reference universe.
+  std::string root;
+  /// Directory holding layers.txt and the per-check allowlists.
+  /// Defaults to <root>/tools/wmlint when empty.
+  std::string config_dir;
+  /// Subset of AllCheckNames() to run; empty means all.
+  std::vector<std::string> checks;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;  // sorted by FindingLess
+  size_t files_scanned = 0;
+  std::vector<std::string> checks_run;
+};
+
+/// Lexes the tree and runs the selected checks, including the stale-
+/// entry audit of every loaded allowlist. Never throws; unreadable
+/// files and missing configs surface as `config` findings.
+RunResult Run(const RunOptions& options);
+
+/// Human report: one `file:line: [check] message` per finding plus a
+/// verdict line.
+std::string RenderText(const RunResult& result);
+
+/// Machine report: {"status", "files_scanned", "checks", "findings"}.
+std::string RenderJson(const RunResult& result);
+
+}  // namespace wmlint
+
+#endif  // FREQYWM_TOOLS_WMLINT_WMLINT_H_

@@ -1,0 +1,78 @@
+// wmlint — the in-tree invariant analyzer (DESIGN.md §12).
+//
+//   wmlint --root DIR [--config DIR] [--json FILE] [--check NAME]...
+//
+// Scans <root>/src and <root>/bench (tests/ feeds the oracle check),
+// prints one line per finding and a verdict, and exits 0 clean / 1 on
+// findings / 2 on usage errors. `--check` may repeat to run a subset;
+// `--json` additionally writes the machine-readable report.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "wmlint/wmlint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root DIR [--config DIR] [--json FILE] [--check NAME]...\n"
+            << "checks:";
+  for (const std::string& c : wmlint::AllCheckNames()) std::cerr << " " << c;
+  std::cerr << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wmlint::RunOptions options;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      options.root = v;
+    } else if (arg == "--config") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      options.config_dir = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--check") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      const auto& names = wmlint::AllCheckNames();
+      if (std::find(names.begin(), names.end(), v) == names.end()) {
+        std::cerr << "wmlint: unknown check '" << v << "'\n";
+        return Usage(argv[0]);
+      }
+      options.checks.push_back(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.root.empty()) return Usage(argv[0]);
+
+  wmlint::RunResult result = wmlint::Run(options);
+  std::cout << wmlint::RenderText(result);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "wmlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << wmlint::RenderJson(result);
+  }
+  return result.findings.empty() ? 0 : 1;
+}
