@@ -9,7 +9,13 @@
 ///  * round-trip fixed point: when an input parses, serializing the
 ///    parsed registry and parsing it again must reproduce the same bytes
 ///    and the same record count (a parse that silently drops or invents
-///    records is the bug class the PR 5 hardening closed).
+///    records is the bug class the PR 5 hardening closed);
+///  * `ParseSnapshot` (PR 8, DESIGN.md §13) holds the same properties on
+///    the checksum-footed on-disk format, and additionally: whatever it
+///    accepts must agree byte-for-byte with `Deserialize` of the payload
+///    above the footer — the footer may only ever *reject* inputs, never
+///    change what parses. Corpus seeds cover truncated, bit-flipped and
+///    checksum-mismatched snapshots (the crash-during-write shapes).
 
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +43,26 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       again.value().Serialize() != round) {
     std::fprintf(stderr, "round-trip is not a fixed point (%zu vs %zu records)\n",
                  parsed.value().size(), again.value().size());
+    std::abort();
+  }
+
+  // Snapshot path: the same bytes through the checksum-verifying parser.
+  // Raw fuzz input essentially never carries a valid footer, so also feed
+  // it the *well-formed* snapshot of the registry we just parsed — that
+  // exercises the accept path — plus the raw bytes for the reject path.
+  freqywm::Result<freqywm::FingerprintRegistry> raw_snapshot =
+      freqywm::FingerprintRegistry::ParseSnapshot(text);
+  if (raw_snapshot.ok() && raw_snapshot.value().Serialize() != round) {
+    std::fprintf(stderr, "snapshot parse disagrees with payload parse\n");
+    std::abort();
+  }
+  const std::string snapshot = parsed.value().SerializeSnapshot();
+  freqywm::Result<freqywm::FingerprintRegistry> reparsed =
+      freqywm::FingerprintRegistry::ParseSnapshot(snapshot);
+  if (!reparsed.ok() || reparsed.value().Serialize() != round) {
+    std::fprintf(stderr, "snapshot round-trip failed: %s\n",
+                 reparsed.ok() ? "bytes differ"
+                               : reparsed.status().ToString().c_str());
     std::abort();
   }
   return 0;

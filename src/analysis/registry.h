@@ -15,6 +15,8 @@
 namespace freqywm {
 
 class PreparedKeyCache;  // exec/prepared_key_cache.h
+struct RetryPolicy;      // exec/retry.h
+struct InterruptContext; // exec/cancellation.h
 
 /// One escrowed fingerprint: a buyer identity and the scheme-tagged key of
 /// the watermark embedded in that buyer's copy. Buyers of the same asset
@@ -126,6 +128,41 @@ class FingerprintRegistry {
   /// dropped by a round trip) or whose size fields overflow `uint64`.
   [[nodiscard]] static Result<FingerprintRegistry> Deserialize(
       const std::string& text);
+
+  /// `Serialize()` output plus an integrity footer — the byte format of
+  /// `SaveToFile` (DESIGN.md §13). The footer is one final line,
+  /// `checksum sha256 <64 lowercase hex>`, whose digest covers every byte
+  /// before it, so truncation, bit rot and torn writes are detected
+  /// before any record is parsed.
+  std::string SerializeSnapshot() const;
+
+  /// Parses the output of `SerializeSnapshot`: verifies the checksum
+  /// footer, then delegates to `Deserialize`. Typed failures: a missing
+  /// or malformed footer (including a truncated final line) and a digest
+  /// mismatch are `Corruption`; record-level damage reports whatever
+  /// `Deserialize` reports.
+  [[nodiscard]] static Result<FingerprintRegistry> ParseSnapshot(
+      const std::string& text);
+
+  /// Atomically persists the snapshot to `path` (DESIGN.md §13): writes
+  /// `path + ".tmp"`, fsyncs it, then renames over `path` — a reader (or
+  /// a crash) at any instant sees either the previous complete snapshot
+  /// or the new one, never a torn file. I/O failures are `Unavailable`
+  /// (transient, retryable); the temp file is cleaned up on failure.
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+
+  /// `SaveToFile` with bounded retry for transient failures: attempts
+  /// are governed by `retry` (exec/retry.h — injectable sleep, so tests
+  /// run instantly) and stop early when `interrupt` fires.
+  [[nodiscard]] Status SaveToFile(const std::string& path,
+                                  const RetryPolicy& retry,
+                                  const InterruptContext& interrupt) const;
+
+  /// Reads and `ParseSnapshot`s `path`. `NotFound` when the file does not
+  /// exist, `Unavailable` for transient read errors, `Corruption` for a
+  /// damaged snapshot.
+  [[nodiscard]] static Result<FingerprintRegistry> LoadFromFile(
+      const std::string& path);
 
  private:
   std::vector<FingerprintRecord> records_;

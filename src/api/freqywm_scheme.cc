@@ -74,6 +74,7 @@ Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original) const {
 
 Result<EmbedOutcome> FreqyWmScheme::Embed(const Histogram& original,
                                           const ExecContext& exec) const {
+  FREQYWM_RETURN_NOT_OK(exec.CheckInterrupted());
   FREQYWM_ASSIGN_OR_RETURN(
       HistogramGenerateResult generated,
       WatermarkGenerator(options_).GenerateFromHistogram(original, exec));

@@ -76,7 +76,10 @@ Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
 
 Result<DatasetEmbedOutcome> WatermarkScheme::EmbedDataset(
     const Dataset& original, const ExecContext& exec) const {
-  Histogram hist = exec.BuildHistogram(original);
+  // The histogram build and the scheme's Embed both honor the context's
+  // cancellation/deadline; the final dataset transform is not worth a
+  // checkpoint (it is linear in the dataset and allocation-bound).
+  FREQYWM_ASSIGN_OR_RETURN(Histogram hist, exec.BuildHistogramChecked(original));
   FREQYWM_ASSIGN_OR_RETURN(EmbedOutcome outcome, Embed(hist, exec));
   Rng rng(dataset_transform_seed());
   DatasetEmbedOutcome out;

@@ -95,10 +95,14 @@ Result<EmbedOutcome> WmObtScheme::Embed(const Histogram& original) const {
 
 Result<EmbedOutcome> WmObtScheme::Embed(const Histogram& original,
                                         const ExecContext& exec) const {
+  FREQYWM_RETURN_NOT_OK(exec.CheckInterrupted());
   if (original.empty()) {
     return Status::InvalidArgument("cannot watermark an empty histogram");
   }
   Histogram watermarked = EmbedWmObt(original, options_, exec);
+  // An interruption mid-GA breaks the evolution loops early; the
+  // histogram above is then partial and must not escape as a success.
+  FREQYWM_RETURN_NOT_OK(exec.CheckInterrupted());
 
   // Calibrate the decode threshold from this embedding: the hiding
   // statistic is nearly scale-invariant, so the achievable bit-0/bit-1

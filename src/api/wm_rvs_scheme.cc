@@ -109,6 +109,7 @@ Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original) const {
 
 Result<EmbedOutcome> WmRvsScheme::Embed(const Histogram& original,
                                         const ExecContext& exec) const {
+  FREQYWM_RETURN_NOT_OK(exec.CheckInterrupted());
   if (original.empty()) {
     return Status::InvalidArgument("cannot watermark an empty histogram");
   }

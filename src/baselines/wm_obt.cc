@@ -83,6 +83,12 @@ class WmObtGa {
     Evaluate(cur, /*first=*/0);
 
     for (size_t gen = 0; gen < opt_.generations; ++gen) {
+      // Cooperative cancellation at generation boundaries (DESIGN.md
+      // §13): an interrupted GA stops evolving and returns its best so
+      // far. The caller (WmObtScheme::Embed) re-checks the context after
+      // the embed and discards the partial result with a typed status,
+      // so early-broken bytes never masquerade as a completed embed.
+      if (exec_.interrupted()) break;
       // Elitism: carry the best individual (lowest index on ties) over.
       const size_t best = ArgBest(cur);
       next.CopyFrom(cur, best, /*to=*/0);
@@ -418,10 +424,19 @@ Histogram EmbedWmObt(const Histogram& original, const WmObtOptions& options,
   // pure — the choice never changes output bytes.
   const size_t total_threads =
       exec.parallel() ? exec.pool->num_threads() + 1 : 1;
+  // When the partition loop already saturates the pool, the nested GA
+  // runs serially — but it must keep the caller's cancellation/deadline,
+  // so only the pool is stripped, never the whole context.
+  ExecContext ga_serial = exec;
+  ga_serial.pool = nullptr;
   const ExecContext ga_exec =
-      options.num_partitions < total_threads ? exec : ExecContext{};
+      options.num_partitions < total_threads ? exec : ga_serial;
   auto optimize = [&](size_t p) {
     if (values[p].empty()) return;
+    // Interrupted: skip the remaining partitions outright (their deltas
+    // stay empty). The scheme-level post-check turns this into a typed
+    // status before any partial histogram escapes.
+    if (exec.interrupted()) return;
     const int bit = options.watermark_bits[p % options.watermark_bits.size()];
     Rng rng(WmObtPartitionStreamSeed(options.key_seed, p));
     WmObtGa ga(values[p], /*maximize=*/bit == 1, options, rng, ga_exec);

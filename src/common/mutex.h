@@ -1,6 +1,7 @@
 #ifndef FREQYWM_COMMON_MUTEX_H_
 #define FREQYWM_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -71,6 +72,31 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
     cv_.wait(lock, std::move(pred));
     lock.release();  // the caller-visible capability stays held
+  }
+
+  /// Like `Wait`, but gives up after `timeout`. Returns true if notified
+  /// (or spuriously woken) before the timeout, false on timeout. Either
+  /// way the mutex is reacquired before returning. This is what makes a
+  /// blocked `Session::Drain` interruptible: waiters bounded by `WaitFor`
+  /// can re-check a `CancellationToken`/`Deadline` between sleeps instead
+  /// of blocking forever on a notification that may never come.
+  bool WaitFor(Mutex& mutex, std::chrono::nanoseconds timeout)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();  // the caller-visible capability stays held
+    return st == std::cv_status::no_timeout;
+  }
+
+  /// Waits until `pred()` holds or `timeout` elapses; returns the final
+  /// value of `pred()`. `pred` runs with the mutex held.
+  template <typename Predicate>
+  bool WaitFor(Mutex& mutex, std::chrono::nanoseconds timeout,
+               Predicate pred) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();  // the caller-visible capability stays held
+    return satisfied;
   }
 
   void NotifyOne() { cv_.notify_one(); }

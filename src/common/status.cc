@@ -18,6 +18,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kCorruption:
       return "corruption";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -27,6 +27,19 @@ enum class StatusCode {
   kResourceExhausted,
   /// Input bytes could not be parsed (corrupt secret file, malformed CSV).
   kCorruption,
+  /// The operation was cooperatively cancelled via a `CancellationToken`
+  /// before it completed (exec/cancellation.h). Partial side effects are
+  /// documented per API; results derived from a cancelled call must be
+  /// discarded.
+  kCancelled,
+  /// The operation's monotonic `Deadline` expired before it completed.
+  /// Like `kCancelled`, a cooperative interruption — never an invariant
+  /// violation.
+  kDeadlineExceeded,
+  /// A transient, retryable failure (I/O hiccup, injected fault). The
+  /// operation may succeed if retried — see exec/retry.h for the bounded
+  /// backoff helper; every other code is permanent.
+  kUnavailable,
 };
 
 /// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
@@ -82,6 +95,15 @@ class [[nodiscard]] Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -1,9 +1,12 @@
 #include "exec/batch_detector.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 #include <utility>
 
 #include "common/mutex.h"
+#include "exec/fault_injection.h"
 
 namespace freqywm {
 
@@ -43,18 +46,45 @@ void BatchDetector::Session::PrepareKeys() {
   key_scheme_.assign(keys_.size(), nullptr);
   key_options_.assign(keys_.size(), DetectOptions{});
   prepared_.assign(keys_.size(), nullptr);
+  key_status_.assign(keys_.size(), Status::OK());
   dense_ids_.assign(keys_.size(), {});
   for (size_t j = 0; j < keys_.size(); ++j) {
     const WatermarkScheme* scheme = schemes_.Get(keys_[j].scheme);
     key_scheme_[j] = scheme;
-    if (scheme == nullptr) continue;  // unregistered tag → rejected cells
+    if (scheme == nullptr) {
+      // Unregistered tag → rejected cells, now with the reason recorded
+      // per column instead of assumed.
+      key_status_[j] = Status::NotFound("scheme '" + keys_[j].scheme +
+                                        "' not registered");
+      continue;
+    }
     key_options_[j] = options_.use_recommended_options
                           ? scheme->RecommendedDetectOptions(keys_[j])
                           : options_.detect_options;
-    prepared_[j] = options_.key_cache != nullptr
-                       ? options_.key_cache->GetOrPrepare(*scheme, keys_[j])
-                       : std::shared_ptr<const PreparedKey>(
-                             scheme->Prepare(keys_[j]));
+    // A preparation failure — injected here, or surfaced by the cache —
+    // poisons only this column (DESIGN.md §13): prepared_[j] stays null,
+    // the typed status is recorded, and every other key proceeds.
+    Status prep = FREQYWM_FAULT_STATUS_KEYED("session/prepare",
+                                             static_cast<uint64_t>(j));
+    if (prep.ok() && options_.key_cache != nullptr) {
+      Result<std::shared_ptr<const PreparedKey>> entry =
+          options_.key_cache->TryGetOrPrepare(*scheme, keys_[j]);
+      if (entry.ok()) {
+        prepared_[j] = std::move(entry).value();
+      } else {
+        prep = entry.status();
+      }
+    } else if (prep.ok()) {
+      prepared_[j] = scheme->Prepare(keys_[j]);
+      if (prepared_[j] == nullptr) {
+        prep = Status::Internal("scheme '" + keys_[j].scheme +
+                                "' Prepare returned null");
+      }
+    }
+    if (!prep.ok()) {
+      key_status_[j] = std::move(prep);
+      continue;
+    }
 
     // Union the key's vocabulary into the session interner. Dense ids are
     // uint32_t; a union beyond 2^32 distinct tokens is far past any
@@ -100,15 +130,35 @@ void BatchDetector::Session::ScatterSuspect(const Histogram& suspect,
 }
 
 void BatchDetector::Session::AddSuspect(Histogram suspect) {
-  MutexLock lock(pending_mutex_);
-  pending_.push_back(std::move(suspect));
+  {
+    MutexLock lock(pending_mutex_);
+    pending_.push_back(std::move(suspect));
+  }
+  pending_cv_.NotifyAll();
 }
 
 void BatchDetector::Session::AddSuspects(std::vector<Histogram> suspects) {
-  MutexLock lock(pending_mutex_);
-  for (Histogram& suspect : suspects) {
-    pending_.push_back(std::move(suspect));
+  {
+    MutexLock lock(pending_mutex_);
+    for (Histogram& suspect : suspects) {
+      pending_.push_back(std::move(suspect));
+    }
   }
+  pending_cv_.NotifyAll();
+}
+
+Status BatchDetector::Session::WaitForSuspects(
+    size_t min_count, const InterruptContext& interrupt) const {
+  // Bounded sleeps instead of an open-ended Wait: the quantum caps how
+  // long a cancellation or deadline expiry can go unnoticed when no
+  // producer ever notifies again.
+  constexpr std::chrono::milliseconds kWaitQuantum(10);
+  MutexLock lock(pending_mutex_);
+  while (pending_.size() < min_count) {
+    FREQYWM_RETURN_NOT_OK(interrupt.Check());
+    pending_cv_.WaitFor(pending_mutex_, kWaitQuantum);
+  }
+  return Status::OK();
 }
 
 size_t BatchDetector::Session::pending_suspects() const {
@@ -162,7 +212,9 @@ std::vector<std::vector<DetectResult>> BatchDetector::Session::Detect(
   // any schedule yields identical results.
   auto detect_cell = [&](size_t i, size_t j) {
     const WatermarkScheme* scheme = key_scheme_[j];
-    if (scheme == nullptr) return;  // unregistered tag → rejected
+    // Unregistered tag or failed preparation → rejected (the checked
+    // path reports the reason via key_statuses()).
+    if (scheme == nullptr || prepared_[j] == nullptr) return;
     if (!dense_ids_[j].empty()) {
       DenseSuspectCounts dense{flat_counts[i].data(),
                                flat_present[i].data()};
@@ -186,6 +238,110 @@ std::vector<std::vector<DetectResult>> BatchDetector::Session::Detect(
     detect_cell(c / keys_.size(), c % keys_.size());
   });
   return results;
+}
+
+SessionDrainResult BatchDetector::Session::DrainChecked(
+    const InterruptContext& interrupt) {
+  std::vector<Histogram> batch;
+  {
+    MutexLock lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  return DetectChecked(batch, interrupt);
+}
+
+SessionDrainResult BatchDetector::Session::DetectChecked(
+    const std::vector<Histogram>& suspects,
+    const InterruptContext& interrupt) const {
+  SessionDrainResult out;
+  out.key_status = key_status_;
+  out.verdicts.assign(suspects.size(),
+                      std::vector<DetectResult>(keys_.size()));
+  out.evaluated.assign(suspects.size() * keys_.size(), 0);
+  if (suspects.empty() || keys_.empty()) return out;
+  out.status = interrupt.Check();
+  if (!out.status.ok()) return out;
+
+  const bool parallel = pool_ != nullptr && pool_->num_threads() > 0;
+
+  // Phase 1 — scatter (see Detect). An interruption here yields no
+  // evaluated cells: the flat arrays are an all-or-nothing precondition
+  // of the matrix phase.
+  std::vector<std::vector<uint64_t>> flat_counts(suspects.size());
+  std::vector<std::vector<uint8_t>> flat_present(suspects.size());
+  if (!vocab_.empty()) {
+    auto scatter = [&](size_t i) {
+      flat_counts[i].assign(vocab_.size(), 0);
+      flat_present[i].assign(vocab_.size(), 0);
+      ScatterSuspect(suspects[i], flat_counts[i].data(),
+                     flat_present[i].data());
+      return Status::OK();
+    };
+    if (parallel) {
+      out.status = pool_->ParallelForChecked(suspects.size(), interrupt,
+                                             scatter);
+    } else {
+      for (size_t i = 0; i < suspects.size() && out.status.ok(); ++i) {
+        out.status = interrupt.Check();
+        if (out.status.ok()) out.status = scatter(i);
+      }
+    }
+    if (!out.status.ok()) return out;
+  }
+
+  // Phase 2 — the matrix, with per-cell isolation (DESIGN.md §13): a
+  // failing cell records a typed error under `errors_mutex` and the body
+  // returns OK, so one bad cell never aborts the drain; only a
+  // cancellation/deadline stops the loop (within one cell's work — the
+  // shard quantum of this phase).
+  Mutex errors_mutex;
+  std::vector<SessionCellError>& cell_errors = out.cell_errors;
+  auto detect_cell_checked = [&](size_t c) {
+    const size_t i = c / keys_.size();
+    const size_t j = c % keys_.size();
+    if (!key_status_[j].ok()) return Status::OK();  // poisoned column
+    Status cell = FREQYWM_FAULT_STATUS_KEYED("session/detect_cell",
+                                             static_cast<uint64_t>(c));
+    if (!cell.ok()) {
+      MutexLock lock(errors_mutex);
+      cell_errors.push_back(SessionCellError{i, j, std::move(cell)});
+      return Status::OK();
+    }
+    const WatermarkScheme* scheme = key_scheme_[j];
+    if (!dense_ids_[j].empty()) {
+      DenseSuspectCounts dense{flat_counts[i].data(),
+                               flat_present[i].data()};
+      out.verdicts[i][j] = scheme->Detect(dense, dense_ids_[j].data(),
+                                          *prepared_[j], key_options_[j]);
+    } else {
+      out.verdicts[i][j] =
+          scheme->Detect(suspects[i], *prepared_[j], key_options_[j]);
+    }
+    out.evaluated[c] = 1;
+    return Status::OK();
+  };
+
+  const size_t cells = suspects.size() * keys_.size();
+  if (parallel) {
+    out.status = pool_->ParallelForChecked(cells, interrupt,
+                                           detect_cell_checked);
+  } else {
+    for (size_t c = 0; c < cells; ++c) {
+      out.status = interrupt.Check();
+      if (!out.status.ok()) break;
+      out.status = detect_cell_checked(c);
+      if (!out.status.ok()) break;
+    }
+  }
+
+  // Deterministic error report order regardless of which thread recorded
+  // which cell first.
+  std::sort(out.cell_errors.begin(), out.cell_errors.end(),
+            [](const SessionCellError& a, const SessionCellError& b) {
+              return a.suspect != b.suspect ? a.suspect < b.suspect
+                                            : a.key < b.key;
+            });
+  return out;
 }
 
 // ------------------------------------------------------------------- Run

@@ -10,14 +10,49 @@
 #include "api/factory.h"
 #include "api/scheme.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/detect.h"
 #include "core/options.h"
 #include "data/histogram.h"
+#include "exec/cancellation.h"
 #include "exec/prepared_key_cache.h"
 #include "exec/thread_pool.h"
 
 namespace freqywm {
+
+/// One failed matrix cell in a `SessionDrainResult`: detection of key
+/// column `key` on suspect row `suspect` did not run to completion.
+struct SessionCellError {
+  size_t suspect = 0;
+  size_t key = 0;
+  Status status;
+};
+
+/// The result of a failure-aware session drain (DESIGN.md §13). The
+/// verdict matrix always has full |suspects| × |keys| shape; the
+/// companion fields say which cells actually hold a detection:
+///
+///   - `key_status[j]` is non-OK when column `j` is poisoned — its key
+///     failed `Prepare` (or its scheme tag is unregistered) — and every
+///     cell in that column is unevaluated, default-rejected;
+///   - `cell_errors` lists individually failed cells (sorted by
+///     (suspect, key)), each with its typed status — one bad cell never
+///     contaminates its row, column, or the drain;
+///   - `evaluated[i * keys + j]` is 1 iff `verdicts[i][j]` is a real
+///     detection result;
+///   - `status` is the drain-level outcome: OK for a completed drain
+///     (even one with poisoned columns or failed cells), or
+///     `kCancelled`/`kDeadlineExceeded` when the drain was interrupted —
+///     then the evaluated mask marks the partial prefix that finished
+///     before the interruption.
+struct SessionDrainResult {
+  std::vector<std::vector<DetectResult>> verdicts;
+  std::vector<Status> key_status;
+  std::vector<SessionCellError> cell_errors;
+  std::vector<uint8_t> evaluated;
+  Status status;
+};
 
 /// Configuration of a `BatchDetector` run.
 struct BatchDetectOptions {
@@ -123,6 +158,38 @@ class BatchDetector {
     std::vector<std::vector<DetectResult>> Detect(
         const std::vector<Histogram>& suspects) const;
 
+    /// The failure-aware drain (DESIGN.md §13): claims the pending queue
+    /// like `Drain`, but honors `interrupt` at every cell boundary and
+    /// isolates per-key / per-cell failures instead of assuming them
+    /// away. Claimed suspects are consumed even when the drain is
+    /// interrupted — the caller inspects `evaluated` to see which cells
+    /// completed. For a clean, uninterrupted run over all-OK keys, the
+    /// verdicts are element-wise identical to `Drain()`.
+    SessionDrainResult DrainChecked(const InterruptContext& interrupt);
+
+    /// Failure-aware one-shot detection; `DrainChecked` is implemented on
+    /// top of this.
+    SessionDrainResult DetectChecked(const std::vector<Histogram>& suspects,
+                                     const InterruptContext& interrupt) const;
+
+    /// Blocks until at least `min_count` suspects are pending, the token
+    /// is cancelled, or the deadline expires — the producer/drainer
+    /// handshake of the detection-service shape. Returns OK when the
+    /// count is reached, else the interruption status. Uses bounded
+    /// `CondVar::WaitFor` sleeps internally, so a waiter blocked on a
+    /// notification that never comes still observes cancellation within
+    /// one wait quantum (~10 ms).
+    Status WaitForSuspects(size_t min_count,
+                           const InterruptContext& interrupt) const;
+
+    /// Per-key preparation outcome, fixed at construction: `[j]` is OK
+    /// when column `j` is usable, `kNotFound` for an unregistered scheme
+    /// tag, or the typed `Prepare` failure that poisoned the column.
+    /// Unregistered tags were always skipped silently (`Run`'s
+    /// default-rejected convention); this is where that fact became
+    /// observable.
+    const std::vector<Status>& key_statuses() const { return key_status_; }
+
     const std::vector<SchemeKey>& keys() const { return keys_; }
 
     /// Size of the interned union vocabulary (0 when no key exposes one).
@@ -142,6 +209,7 @@ class BatchDetector {
     std::vector<const WatermarkScheme*> key_scheme_;
     std::vector<DetectOptions> key_options_;
     std::vector<std::shared_ptr<const PreparedKey>> prepared_;
+    std::vector<Status> key_status_;
 
     /// Dense-gather state: the union of the keys' vocabularies interned
     /// into ids `[0, vocab_.size())`, and per key the map from its
@@ -151,9 +219,11 @@ class BatchDetector {
     std::vector<std::vector<uint32_t>> dense_ids_;
 
     /// Producer-side state: the only mutable-after-construction session
-    /// state, guarded so request handlers can enqueue concurrently.
+    /// state, guarded so request handlers can enqueue concurrently. The
+    /// CondVar pairs enqueues with `WaitForSuspects` sleepers.
     mutable Mutex pending_mutex_;
     std::vector<Histogram> pending_ GUARDED_BY(pending_mutex_);
+    mutable CondVar pending_cv_;
 
     std::unique_ptr<ThreadPool> owned_pool_;
     ThreadPool* pool_ = nullptr;  // owned or borrowed; null → serial

@@ -14,4 +14,16 @@ Histogram ExecContext::BuildHistogram(const Dataset& dataset) const {
   return Histogram::FromDataset(dataset);
 }
 
+Result<Histogram> ExecContext::BuildHistogramChecked(
+    const Dataset& dataset) const {
+  const InterruptContext interrupt = this->interrupt();
+  FREQYWM_RETURN_NOT_OK(interrupt.Check());
+  if (parallel()) {
+    return BuildHistogramShardedChecked(dataset, *pool, interrupt);
+  }
+  // Serial path: one whole-dataset "shard", interruption checked once at
+  // entry above — matching the parallel path's shard-boundary granularity.
+  return Histogram::FromDataset(dataset);
+}
+
 }  // namespace freqywm

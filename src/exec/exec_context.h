@@ -1,8 +1,11 @@
 #ifndef FREQYWM_EXEC_EXEC_CONTEXT_H_
 #define FREQYWM_EXEC_EXEC_CONTEXT_H_
 
+#include "common/result.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
+#include "exec/cancellation.h"
 
 namespace freqywm {
 
@@ -15,17 +18,53 @@ class ThreadPool;
 ///
 /// Determinism contract: every operation taking an `ExecContext` produces
 /// output identical to its serial counterpart — parallelism changes wall
-/// clock, never bytes.
+/// clock, never bytes. The interruption members refine, not relax, that
+/// contract: a run that completes before cancellation/deadline fired is
+/// byte-identical to an uninterrupted run; an interrupted run returns a
+/// typed `kCancelled`/`kDeadlineExceeded` status and its partial output
+/// must be discarded (DESIGN.md §13).
 struct ExecContext {
+  /// Serial context: no pool, never interrupted.
+  ExecContext() = default;
+
+  /// A context running on `pool` (null → serial). Implicit so the
+  /// established `ExecContext{&pool}` spelling keeps working now that
+  /// the struct has interruption members (aggregate init would warn on
+  /// the omitted fields).
+  ExecContext(ThreadPool* pool_in) : pool(pool_in) {}  // NOLINT
+
   ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation; default token is never cancelled.
+  CancellationToken cancel;
+
+  /// Monotonic completion deadline; default is infinite.
+  Deadline deadline;
 
   /// True when a pool with at least one worker is attached.
   bool parallel() const;
 
+  /// True once cancellation was requested or the deadline expired.
+  bool interrupted() const { return interrupt().interrupted(); }
+
+  /// OK, or the typed status of the first interruption source that fired
+  /// (cancellation wins over deadline). Engine loops call this at shard /
+  /// generation boundaries.
+  Status CheckInterrupted() const { return interrupt().Check(); }
+
+  /// The interruption pair as the bundled form shard loops consume.
+  InterruptContext interrupt() const { return InterruptContext{cancel, deadline}; }
+
   /// Builds the frequency histogram of `dataset`: sharded across the pool
   /// when `parallel()`, `Histogram::FromDataset` otherwise. Both paths
-  /// return the identical histogram.
+  /// return the identical histogram. Ignores interruption (kept for the
+  /// pre-PR-8 callers that cannot fail); new code uses the checked form.
   Histogram BuildHistogram(const Dataset& dataset) const;
+
+  /// Like `BuildHistogram` but honors cancellation/deadline at shard
+  /// boundaries, returning `kCancelled`/`kDeadlineExceeded` instead of a
+  /// partial histogram.
+  Result<Histogram> BuildHistogramChecked(const Dataset& dataset) const;
 };
 
 }  // namespace freqywm

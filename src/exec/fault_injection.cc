@@ -1,0 +1,94 @@
+#include "exec/fault_injection.h"
+
+#include <array>
+
+#include "crypto/sha256.h"
+
+namespace freqywm {
+namespace {
+
+void AppendU64Le(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::ArmSeeded(uint64_t seed, uint32_t fail_one_in) {
+  MutexLock lock(mu_);
+  seed_ = seed;
+  fail_one_in_ = fail_one_in;
+  hit_counts_.clear();
+  armed_.store(fail_one_in != 0 || !forced_failures_.empty(),
+               std::memory_order_release);
+}
+
+void FaultInjector::FailNextHits(std::string_view site, uint64_t count) {
+  MutexLock lock(mu_);
+  if (count == 0) {
+    forced_failures_.erase(std::string(site));
+  } else {
+    forced_failures_[std::string(site)] = count;
+  }
+  armed_.store(fail_one_in_ != 0 || !forced_failures_.empty(),
+               std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  MutexLock lock(mu_);
+  seed_ = 0;
+  fail_one_in_ = 0;
+  hit_counts_.clear();
+  forced_failures_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Check(std::string_view site) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(mu_);
+  return Decide(site, /*keyed=*/false, /*key=*/0);
+}
+
+Status FaultInjector::CheckKeyed(std::string_view site, uint64_t key) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(mu_);
+  return Decide(site, /*keyed=*/true, key);
+}
+
+Status FaultInjector::Decide(std::string_view site, bool keyed,
+                             uint64_t key) {
+  const auto forced = forced_failures_.find(std::string(site));
+  if (forced != forced_failures_.end()) {
+    if (--forced->second == 0) forced_failures_.erase(forced);
+    armed_.store(fail_one_in_ != 0 || !forced_failures_.empty(),
+                 std::memory_order_release);
+    return Status::Unavailable("injected fault at " + std::string(site));
+  }
+  if (fail_one_in_ == 0) return Status::OK();
+  // The decision digest is pure data: seed, site name, and a
+  // discriminator — the per-site hit index for plain sites, the
+  // caller-supplied work-unit key for keyed ones (so the schedule does
+  // not depend on the order threads reach the site). Identical inputs
+  // give identical fault schedules on every platform and thread count.
+  const uint64_t discriminator =
+      keyed ? key : hit_counts_[std::string(site)]++;
+  std::string material;
+  material.reserve(site.size() + 32);
+  AppendU64Le(material, seed_);
+  material.append(site.data(), site.size());
+  material.push_back(keyed ? '\1' : '\0');
+  AppendU64Le(material, discriminator);
+  const Sha256::Digest digest = Sha256::Hash(material);
+  if (DigestPrefixU64(digest) % fail_one_in_ == 0) {
+    return Status::Unavailable("injected fault at " + std::string(site));
+  }
+  return Status::OK();
+}
+
+}  // namespace freqywm

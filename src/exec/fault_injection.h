@@ -1,0 +1,117 @@
+#ifndef FREQYWM_EXEC_FAULT_INJECTION_H_
+#define FREQYWM_EXEC_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace freqywm {
+
+/// Deterministic site-keyed fault injection (DESIGN.md §13).
+///
+/// Production code plants named fault sites with the `FREQYWM_FAULT_POINT*`
+/// macros below; a site is a stable slash-separated string like
+/// `"registry_io/fsync"` or `"session/prepare"` (the catalogue lives in
+/// DESIGN.md §13, and CONTRIBUTING.md describes how to add one). When the
+/// `FREQYWM_FAULT_INJECTION` build knob is OFF the macros compile to
+/// nothing, so release binaries carry zero overhead and zero behavioral
+/// difference. When ON, each hit consults the process-global
+/// `FaultInjector`:
+///
+///   - disarmed (the default): every check passes — a fault-injection
+///     build behaves exactly like a clean one until a test arms faults;
+///   - `ArmSeeded(seed, fail_one_in)`: a hit at `site` fails iff
+///     `SHA-256(seed || site || hit_index [|| key])` maps into the
+///     configured failure rate. Pure data, no clocks, no `rand` — the
+///     same seed yields the same fault schedule on every run, thread
+///     count, and platform, which is what makes sweep results
+///     reproducible and keeps this file wmlint-determinism-clean;
+///   - `FailNextHits(site, n)`: force the next `n` hits at one site to
+///     fail, for targeted regression tests (e.g. "the second `Prepare`
+///     fails").
+///
+/// Injected failures are always `Status::Unavailable` — the transient,
+/// retryable code — with the site name in the message. Code under test
+/// must treat them like any other I/O error: propagate a typed status,
+/// never crash, hang, or tear shared state.
+class FaultInjector {
+ public:
+  /// The process-wide injector consulted by every fault site.
+  static FaultInjector& Global();
+
+  /// Arms seeded pseudo-random faults at every site: a hit fails when
+  /// its digest selects 1 of `fail_one_in` outcomes. `fail_one_in == 1`
+  /// fails every hit; 0 disarms the seeded mode. Resets hit counters so
+  /// each arming starts an independent, reproducible schedule.
+  void ArmSeeded(uint64_t seed, uint32_t fail_one_in);
+
+  /// Forces the next `count` hits at exactly `site` to fail, regardless
+  /// of the seeded mode. Counts down per hit.
+  void FailNextHits(std::string_view site, uint64_t count);
+
+  /// Disables all fault decisions and clears counters/forcings. Tests
+  /// call this in teardown so state never leaks across tests.
+  void Disarm();
+
+  /// The decision point behind `FREQYWM_FAULT_POINT`. OK unless this hit
+  /// is selected to fail.
+  Status Check(std::string_view site);
+
+  /// Like `Check` but mixes a caller-provided stable key (a shard index,
+  /// a cell index) into the digest, so the fault schedule is a function
+  /// of *which* work unit hits the site rather than the order threads
+  /// happen to arrive in.
+  Status CheckKeyed(std::string_view site, uint64_t key);
+
+ private:
+  FaultInjector() = default;
+
+  Status Decide(std::string_view site, bool keyed, uint64_t key)
+      REQUIRES(mu_);
+
+  // Fast path: a single relaxed load when nothing is armed.
+  std::atomic<bool> armed_{false};
+
+  Mutex mu_;
+  uint64_t seed_ GUARDED_BY(mu_) = 0;
+  uint32_t fail_one_in_ GUARDED_BY(mu_) = 0;
+  // std::map (not unordered) so any future iteration is ordered; keys
+  // are site names, values are hits observed since the last arming.
+  std::map<std::string, uint64_t> hit_counts_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> forced_failures_ GUARDED_BY(mu_);
+};
+
+}  // namespace freqywm
+
+#if defined(FREQYWM_FAULT_INJECTION)
+/// Statement form: propagates an injected fault out of a Status- or
+/// Result-returning function. Compiles away when the knob is off.
+#define FREQYWM_FAULT_POINT(site)                                     \
+  FREQYWM_RETURN_NOT_OK(::freqywm::FaultInjector::Global().Check(site))
+#define FREQYWM_FAULT_POINT_KEYED(site, key)                          \
+  FREQYWM_RETURN_NOT_OK(                                              \
+      ::freqywm::FaultInjector::Global().CheckKeyed(site, key))
+/// Expression form: yields the fault decision as a `Status` for sites
+/// where failure is recorded rather than returned (per-cell isolation).
+#define FREQYWM_FAULT_STATUS(site) \
+  ::freqywm::FaultInjector::Global().Check(site)
+#define FREQYWM_FAULT_STATUS_KEYED(site, key) \
+  ::freqywm::FaultInjector::Global().CheckKeyed(site, key)
+#else
+#define FREQYWM_FAULT_POINT(site) \
+  do {                            \
+  } while (false)
+#define FREQYWM_FAULT_POINT_KEYED(site, key) \
+  do {                                       \
+  } while (false)
+#define FREQYWM_FAULT_STATUS(site) ::freqywm::Status::OK()
+#define FREQYWM_FAULT_STATUS_KEYED(site, key) ::freqywm::Status::OK()
+#endif  // FREQYWM_FAULT_INJECTION
+
+#endif  // FREQYWM_EXEC_FAULT_INJECTION_H_

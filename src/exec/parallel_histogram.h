@@ -1,8 +1,10 @@
 #ifndef FREQYWM_EXEC_PARALLEL_HISTOGRAM_H_
 #define FREQYWM_EXEC_PARALLEL_HISTOGRAM_H_
 
+#include "common/result.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
+#include "exec/cancellation.h"
 #include "exec/thread_pool.h"
 
 namespace freqywm {
@@ -20,6 +22,14 @@ namespace freqywm {
 /// entry order, ranks and total — regardless of thread count; small
 /// datasets fall back to the serial build outright.
 Histogram BuildHistogramSharded(const Dataset& dataset, ThreadPool& pool);
+
+/// Like `BuildHistogramSharded`, but polls `interrupt` at every chunk and
+/// shard boundary (via `ParallelForChecked`) and returns
+/// `kCancelled`/`kDeadlineExceeded` instead of a partial histogram. A run
+/// that completes is byte-identical to the unchecked build.
+Result<Histogram> BuildHistogramShardedChecked(const Dataset& dataset,
+                                               ThreadPool& pool,
+                                               const InterruptContext& interrupt);
 
 }  // namespace freqywm
 

@@ -4,6 +4,7 @@
 
 #include "common/mutex.h"
 #include "crypto/sha256.h"
+#include "exec/fault_injection.h"
 
 namespace freqywm {
 
@@ -56,6 +57,17 @@ std::shared_ptr<const PreparedKey> PreparedKeyCache::Get(
 
 std::shared_ptr<const PreparedKey> PreparedKeyCache::GetOrPrepare(
     const WatermarkScheme& scheme, const SchemeKey& key) {
+  Result<std::shared_ptr<const PreparedKey>> entry =
+      TryGetOrPrepare(scheme, key);
+  if (entry.ok()) return std::move(entry).value();
+  // A transient (injected) preparation failure: honor this API's
+  // never-null contract with a private, uncached preparation — the cache
+  // simply stays cold for this key and a later lookup retries.
+  return scheme.Prepare(key);
+}
+
+Result<std::shared_ptr<const PreparedKey>> PreparedKeyCache::TryGetOrPrepare(
+    const WatermarkScheme& scheme, const SchemeKey& key) {
   const std::string fingerprint = Fingerprint(key);
   {
     MutexLock lock(mutex_);
@@ -64,8 +76,24 @@ std::shared_ptr<const PreparedKey> PreparedKeyCache::GetOrPrepare(
   }
 
   // Miss: prepare outside the lock so one slow key never serializes the
-  // whole cache. `Prepare` never returns null (api/scheme.h contract).
+  // whole cache. On failure, return without inserting anything — the
+  // no-tombstone rule above — after counting the miss so the
+  // `hits + misses == lookups` invariant holds on every path.
+  Status fault = FREQYWM_FAULT_STATUS("prepared_key_cache/prepare");
+  if (!fault.ok()) {
+    MutexLock lock(mutex_);
+    ++misses_;
+    return fault;
+  }
+  // `Prepare` never returns null (api/scheme.h contract); treat a
+  // violation by an out-of-tree scheme as a typed error, not a crash.
   std::shared_ptr<const PreparedKey> prepared = scheme.Prepare(key);
+  if (prepared == nullptr) {
+    MutexLock lock(mutex_);
+    ++misses_;
+    return Status::Internal("scheme '" + key.scheme +
+                            "' Prepare returned null");
+  }
 
   MutexLock lock(mutex_);
   std::shared_ptr<const PreparedKey> hit = HitLocked(fingerprint);

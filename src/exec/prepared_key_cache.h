@@ -11,6 +11,7 @@
 
 #include "api/scheme.h"
 #include "common/mutex.h"
+#include "common/result.h"
 #include "common/thread_annotations.h"
 
 namespace freqywm {
@@ -82,6 +83,18 @@ class PreparedKeyCache {
   /// lock; on a concurrent double-miss the first inserted entry wins and
   /// is returned to both callers. Never returns nullptr.
   std::shared_ptr<const PreparedKey> GetOrPrepare(
+      const WatermarkScheme& scheme, const SchemeKey& key);
+
+  /// The fallible form of `GetOrPrepare` (DESIGN.md §13): preparation
+  /// failures (today only injected at the `prepared_key_cache/prepare`
+  /// fault site; tomorrow any out-of-tree scheme whose `Prepare` touches
+  /// I/O) surface as a typed error instead of a cache entry. A failed
+  /// preparation inserts NOTHING — no tombstone, no negative entry — so
+  /// a later call for the same key retries from scratch and a transient
+  /// failure never poisons the key for other tenants (regression-tested
+  /// under TSan by tests/exec/fault_injection_test.cc). On success the
+  /// returned entry is never null.
+  Result<std::shared_ptr<const PreparedKey>> TryGetOrPrepare(
       const WatermarkScheme& scheme, const SchemeKey& key);
 
   /// Drops every entry and resets the counters. Borrowed `shared_ptr`s

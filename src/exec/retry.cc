@@ -1,0 +1,42 @@
+#include "exec/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace freqywm {
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const InterruptContext& interrupt,
+                        const std::function<Status()>& op) {
+  const int attempts = std::max(1, policy.max_attempts);
+  std::chrono::nanoseconds backoff = policy.initial_backoff;
+  for (int attempt = 0;; ++attempt) {
+    FREQYWM_RETURN_NOT_OK(interrupt.Check());
+    Status last = op();
+    if (last.ok()) return last;
+    const bool retryable = policy.retryable
+                               ? policy.retryable(last)
+                               : last.code() == StatusCode::kUnavailable;
+    if (!retryable || attempt + 1 >= attempts) return last;
+    FREQYWM_RETURN_NOT_OK(interrupt.Check());
+    if (backoff.count() > 0) {
+      if (policy.sleep) {
+        policy.sleep(backoff);
+      } else {
+        std::this_thread::sleep_for(backoff);
+      }
+    }
+    // Grow the backoff, saturating well below int64 nanoseconds (~292
+    // years) so a large multiplier can never overflow into UB.
+    constexpr double kMaxBackoffNanos = 9.0e18;
+    const double next =
+        static_cast<double>(backoff.count()) * policy.multiplier;
+    if (next >= kMaxBackoffNanos) {
+      backoff = std::chrono::nanoseconds(static_cast<int64_t>(9.0e18));
+    } else if (next > 0) {
+      backoff = std::chrono::nanoseconds(static_cast<int64_t>(next));
+    }
+  }
+}
+
+}  // namespace freqywm

@@ -1,0 +1,48 @@
+#ifndef FREQYWM_EXEC_RETRY_H_
+#define FREQYWM_EXEC_RETRY_H_
+
+#include <chrono>
+#include <functional>
+
+#include "common/status.h"
+#include "exec/cancellation.h"
+
+namespace freqywm {
+
+/// Policy of a bounded retry loop over a transiently-failing operation
+/// (DESIGN.md §13) — registry I/O under a flaky filesystem, eventually
+/// any network hop. Deliberately small: exponential backoff with a cap
+/// on attempts, no jitter (determinism first; a caller wanting jitter
+/// supplies it via `sleep`).
+struct RetryPolicy {
+  /// Total attempts, including the first (floor of 1).
+  int max_attempts = 3;
+
+  /// Sleep before the second attempt; multiplied by `multiplier` for
+  /// each later one.
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
+  double multiplier = 2.0;
+
+  /// Injectable sleep, the testing seam: tests pass a fake that records
+  /// the requested durations and returns immediately, so retry tests
+  /// run in microseconds and never depend on wall time. Null → a real
+  /// blocking sleep.
+  std::function<void(std::chrono::nanoseconds)> sleep;
+
+  /// Which failures are worth retrying. Null → exactly `kUnavailable`
+  /// (the transient code; every other code is permanent by contract).
+  std::function<bool(const Status&)> retryable;
+};
+
+/// Runs `op` until it succeeds, exhausts `policy.max_attempts`, fails
+/// non-retryably, or `interrupt` fires. Returns the first OK, the last
+/// error, or the interruption status — interruption is checked before
+/// every attempt and before every sleep, so a cancelled caller never
+/// sits out a backoff.
+[[nodiscard]] Status RetryWithBackoff(const RetryPolicy& policy,
+                                      const InterruptContext& interrupt,
+                                      const std::function<Status()>& op);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_RETRY_H_

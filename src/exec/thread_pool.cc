@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "exec/fault_injection.h"
 
 namespace freqywm {
 
@@ -33,6 +34,67 @@ void RunForChunk(ForState& state) {
     size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state.n) return;
     (*state.body)(i);
+    if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.n) {
+      MutexLock lock(state.mutex);
+      state.cv.NotifyAll();
+    }
+  }
+}
+
+/// Shared state of one `ParallelForChecked` call. Same lifecycle as
+/// `ForState`; additionally carries the stop latch and the first-error /
+/// interruption record. `stop` makes claims cheap to drain after a
+/// failure: a claimer that observes it skips the body but still counts
+/// its index toward `done`, so the caller's completion wait stays bounded.
+struct CheckedForState {
+  CheckedForState(size_t n_in, const std::function<Status(size_t)>* body_in,
+                  const InterruptContext* interrupt_in)
+      : n(n_in), body(body_in), interrupt(interrupt_in) {}
+
+  const size_t n;
+  const std::function<Status(size_t)>* body;
+  const InterruptContext* interrupt;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> stop{false};
+  Mutex mutex;
+  CondVar cv;
+  bool has_error GUARDED_BY(mutex) = false;
+  size_t error_index GUARDED_BY(mutex) = 0;
+  Status error GUARDED_BY(mutex);
+  bool interrupted GUARDED_BY(mutex) = false;
+  Status interrupt_status GUARDED_BY(mutex);
+};
+
+/// Claims indices until exhausted or stopped; mirrors `RunForChunk` with
+/// the error/interrupt bookkeeping added.
+void RunCheckedForChunk(CheckedForState& state) {
+  while (true) {
+    const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.n) return;
+    if (!state.stop.load(std::memory_order_acquire)) {
+      Status st = state.interrupt->Check();
+      const bool was_interrupt = !st.ok();
+      if (st.ok()) {
+        st = FREQYWM_FAULT_STATUS_KEYED("thread_pool/shard",
+                                        static_cast<uint64_t>(i));
+        if (st.ok()) st = (*state.body)(i);
+      }
+      if (!st.ok()) {
+        MutexLock lock(state.mutex);
+        if (was_interrupt) {
+          if (!state.interrupted) {
+            state.interrupted = true;
+            state.interrupt_status = st;
+          }
+        } else if (!state.has_error || i < state.error_index) {
+          state.has_error = true;
+          state.error_index = i;
+          state.error = std::move(st);
+        }
+        state.stop.store(true, std::memory_order_release);
+      }
+    }
     if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.n) {
       MutexLock lock(state.mutex);
       state.cv.NotifyAll();
@@ -146,6 +208,39 @@ void ThreadPool::ParallelFor(size_t n,
   state->cv.Wait(state->mutex, [&] {
     return state->done.load(std::memory_order_acquire) == state->n;
   });
+}
+
+Status ThreadPool::ParallelForChecked(
+    size_t n, const InterruptContext& interrupt,
+    const std::function<Status(size_t)>& body) {
+  FREQYWM_RETURN_NOT_OK(interrupt.Check());
+  if (n == 0) return Status::OK();
+  if (n == 1 || workers_.empty()) {
+    // Serial path: in-order execution makes "smallest failing index"
+    // trivially the first failure; interruption is still polled per index
+    // so a serial context degrades exactly like a single-shard parallel
+    // one.
+    for (size_t i = 0; i < n; ++i) {
+      FREQYWM_RETURN_NOT_OK(interrupt.Check());
+      FREQYWM_FAULT_POINT_KEYED("thread_pool/shard",
+                                static_cast<uint64_t>(i));
+      FREQYWM_RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+  auto state = std::make_shared<CheckedForState>(n, &body, &interrupt);
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { RunCheckedForChunk(*state); });
+  }
+  RunCheckedForChunk(*state);  // the caller is a full participant
+  MutexLock lock(state->mutex);
+  state->cv.Wait(state->mutex, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->has_error) return state->error;
+  if (state->interrupted) return state->interrupt_status;
+  return Status::OK();
 }
 
 }  // namespace freqywm

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
+#include "exec/cancellation.h"
 
 namespace freqywm {
 
@@ -56,6 +58,23 @@ class ThreadPool {
   /// order across threads is unspecified; callers that need deterministic
   /// output write results indexed by `i`.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// The fallible, interruptible sibling of `ParallelFor` (DESIGN.md §13):
+  /// `body(i)` returns a `Status`, and `interrupt` is polled at every shard
+  /// boundary. On the first non-OK body status the loop stops claiming new
+  /// indices; already-running iterations complete, then the call returns
+  /// the error of the *smallest failing index* — deterministic regardless
+  /// of thread count, because index claims form a contiguous prefix, so
+  /// the smallest failing index always executes before any stop can mask
+  /// it. When the loop is interrupted (cancelled / deadline expired)
+  /// before a body error, the matching `kCancelled`/`kDeadlineExceeded`
+  /// status is returned instead; body errors win over interruption.
+  /// Never hangs: skipped claims count toward completion, so the caller's
+  /// wait is bounded by the running iterations. On any non-OK return the
+  /// outputs written by `body` are partial and must be discarded.
+  [[nodiscard]] Status ParallelForChecked(
+      size_t n, const InterruptContext& interrupt,
+      const std::function<Status(size_t)>& body);
 
   /// `std::thread::hardware_concurrency()` with a floor of 1.
   static size_t HardwareThreads();

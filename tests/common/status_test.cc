@@ -24,6 +24,10 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::NotFound("missing token").message(), "missing token");
 }
 
@@ -45,6 +49,13 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource_exhausted");
+  // The failure-domain codes (DESIGN.md §13). kUnavailable is the one
+  // retryable code — exec/retry.h keys off it — so its name is part of
+  // the retry contract, not just logging.
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
 }
 
 TEST(StatusTest, CopyPreservesCodeAndMessage) {

@@ -1,0 +1,170 @@
+// RetryWithBackoff suite (DESIGN.md §13): bounded attempts, exponential
+// backoff observed through an injected sleep, kUnavailable as the only
+// retryable code by default, and interruption checked before every attempt
+// and every sleep.
+
+#include "exec/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "exec/cancellation.h"
+
+namespace freqywm {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+/// Policy with a recording fake sleep so tests never actually block.
+struct FakeSleepPolicy {
+  RetryPolicy policy;
+  std::vector<nanoseconds> sleeps;
+
+  explicit FakeSleepPolicy(int max_attempts) {
+    policy.max_attempts = max_attempts;
+    policy.initial_backoff = milliseconds(1);
+    policy.multiplier = 2.0;
+    policy.sleep = [this](nanoseconds d) { sleeps.push_back(d); };
+  }
+};
+
+TEST(RetryTest, FirstAttemptSuccessDoesNotSleep) {
+  FakeSleepPolicy fake(3);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(fake.sleeps.empty());
+}
+
+TEST(RetryTest, RetriesUnavailableThenSucceeds) {
+  FakeSleepPolicy fake(5);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    if (calls < 3) return Status::Unavailable("transient");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  // Exponential: 1ms before attempt 2, 2ms before attempt 3.
+  ASSERT_EQ(fake.sleeps.size(), 2u);
+  EXPECT_EQ(fake.sleeps[0], nanoseconds(milliseconds(1)));
+  EXPECT_EQ(fake.sleeps[1], nanoseconds(milliseconds(2)));
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  FakeSleepPolicy fake(4);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::Unavailable("still down #" + std::to_string(calls));
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.message(), "still down #4");
+  EXPECT_EQ(calls, 4);
+  // max_attempts - 1 sleeps: 1ms, 2ms, 4ms.
+  ASSERT_EQ(fake.sleeps.size(), 3u);
+  EXPECT_EQ(fake.sleeps[2], nanoseconds(milliseconds(4)));
+}
+
+TEST(RetryTest, NonRetryableCodeFailsImmediately) {
+  FakeSleepPolicy fake(5);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::Corruption("checksum mismatch");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(fake.sleeps.empty());
+}
+
+TEST(RetryTest, CancelledBeforeStartNeverCallsOp) {
+  FakeSleepPolicy fake(3);
+  CancellationSource source;
+  source.Cancel();
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      fake.policy, InterruptContext{source.token(), Deadline()}, [&] {
+        ++calls;
+        return Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, CancelledDuringBackoffStopsRetrying) {
+  CancellationSource source;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = milliseconds(1);
+  std::vector<nanoseconds> sleeps;
+  policy.sleep = [&](nanoseconds d) { sleeps.push_back(d); };
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      policy, InterruptContext{source.token(), Deadline()}, [&] {
+        ++calls;
+        source.Cancel();  // caller gives up while the op keeps failing
+        return Status::Unavailable("transient");
+      });
+  // The interruption check before the first sleep fires: one attempt, no
+  // sleeps, typed kCancelled (not the op's kUnavailable).
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  FakeSleepPolicy fake(3);
+  Status status = RetryWithBackoff(
+      fake.policy, InterruptContext{CancellationToken(), Deadline::Expired()},
+      [&] { return Status::OK(); });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RetryTest, CustomRetryablePredicate) {
+  FakeSleepPolicy fake(3);
+  fake.policy.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;
+  };
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    if (calls == 1) return Status::NotFound("not yet");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 2);
+
+  // With the custom predicate, kUnavailable is no longer retryable.
+  calls = 0;
+  Status unavailable =
+      RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      });
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, SingleAttemptPolicyNeverSleeps) {
+  FakeSleepPolicy fake(1);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(fake.sleeps.empty());
+}
+
+}  // namespace
+}  // namespace freqywm
