@@ -1,0 +1,198 @@
+#include "analysis/tenant.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/fault_injection.h"
+
+namespace freqywm {
+
+// --------------------------------------------------------- TenantSession
+
+TenantSession::TenantSession(TenantContext* tenant,
+                             std::unique_ptr<BatchDetector::Session> session)
+    : tenant_(tenant), session_(std::move(session)) {}
+
+TenantSession::~TenantSession() {
+  {
+    // Return every still-leased unit before freeing the session slot, so
+    // a tenant that abandons undrained work never leaks in-flight
+    // capacity.
+    MutexLock lock(mu_);
+    permits_.clear();
+  }
+  MutexLock lock(tenant_->mu_);
+  --tenant_->open_sessions_;
+  auto& live = tenant_->live_sessions_;
+  live.erase(std::remove(live.begin(), live.end(), this), live.end());
+}
+
+Status TenantSession::Submit(std::vector<Histogram> suspects,
+                             const InterruptContext& interrupt) {
+  if (suspects.empty()) return Status::OK();
+  Result<AdmissionController::Permit> permit =
+      tenant_->admission_->Admit(suspects.size(), interrupt);
+  FREQYWM_RETURN_NOT_OK(permit.status());
+  // A failed enqueue drops the permit here, so the shed leaves no units
+  // leased — all-or-nothing.
+  FREQYWM_RETURN_NOT_OK(
+      session_->AddSuspectsBounded(std::move(suspects), interrupt));
+  MutexLock lock(mu_);
+  permits_.push_back(std::move(permit).value());
+  return Status::OK();
+}
+
+Status TenantSession::TrySubmit(std::vector<Histogram> suspects,
+                                const Deadline& deadline) {
+  if (suspects.empty()) return Status::OK();
+  Result<AdmissionController::Permit> permit =
+      tenant_->admission_->TryAdmit(suspects.size(), deadline);
+  FREQYWM_RETURN_NOT_OK(permit.status());
+  FREQYWM_RETURN_NOT_OK(session_->TryAddSuspects(std::move(suspects)));
+  MutexLock lock(mu_);
+  permits_.push_back(std::move(permit).value());
+  return Status::OK();
+}
+
+SessionDrainResult TenantSession::DrainChecked(
+    const InterruptContext& interrupt) {
+  SessionDrainResult result = session_->DrainChecked(interrupt);
+  // One admitted unit per drained row; an interrupted drain still
+  // consumed its claimed suspects (the DrainChecked contract), so their
+  // units return here either way.
+  ReleaseUnits(result.verdicts.size());
+  return result;
+}
+
+size_t TenantSession::pending_suspects() const {
+  return session_->pending_suspects();
+}
+
+void TenantSession::ReleaseUnits(size_t rows) {
+  MutexLock lock(mu_);
+  while (rows > 0 && !permits_.empty()) {
+    AdmissionController::Permit& front = permits_.front();
+    const size_t take = std::min(front.units(), rows);
+    front.ReleasePartial(take);
+    rows -= take;
+    if (front.units() == 0) permits_.pop_front();
+  }
+}
+
+// --------------------------------------------------------- TenantContext
+
+namespace {
+
+std::shared_ptr<KeyCircuitBreaker> MakeBreaker(const TenantQuotas& quotas) {
+  if (quotas.breaker_failure_threshold == 0) return nullptr;
+  CircuitBreakerOptions options;
+  options.failure_threshold = quotas.breaker_failure_threshold;
+  options.cooldown = quotas.breaker_cooldown;
+  options.clock_nanos = quotas.clock_nanos;
+  return std::make_shared<KeyCircuitBreaker>(std::move(options));
+}
+
+std::unique_ptr<AdmissionController> MakeAdmission(
+    const TenantQuotas& quotas) {
+  AdmissionOptions options;
+  options.max_in_flight = quotas.max_in_flight_suspects;
+  options.max_pending = quotas.max_pending_suspects;
+  options.rate_per_unit_time = quotas.rate_per_unit_time;
+  options.burst = quotas.burst;
+  options.clock_nanos = quotas.clock_nanos;
+  return std::make_unique<AdmissionController>(std::move(options));
+}
+
+}  // namespace
+
+TenantContext::TenantContext(std::string tenant_id, TenantQuotas quotas)
+    : tenant_id_(std::move(tenant_id)),
+      quotas_(std::move(quotas)),
+      key_cache_(std::make_shared<PreparedKeyCache>(
+          quotas_.max_cache_entries > 0 ? quotas_.max_cache_entries
+                                        : PreparedKeyCache::kDefaultCapacity)),
+      breaker_(MakeBreaker(quotas_)),
+      admission_(MakeAdmission(quotas_)) {}
+
+Status TenantContext::Escrow(const std::string& buyer_id, SchemeKey key) {
+  FREQYWM_FAULT_POINT("tenant/quota");
+  MutexLock lock(mu_);
+  if (quotas_.max_escrowed_keys > 0 &&
+      registry_.size() >= quotas_.max_escrowed_keys) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant_id_ + "' key-escrow quota reached (" +
+        std::to_string(quotas_.max_escrowed_keys) + " keys)");
+  }
+  return registry_.Register(buyer_id, std::move(key));
+}
+
+Result<std::unique_ptr<TenantSession>> TenantContext::OpenSession(
+    size_t num_threads) {
+  std::vector<SchemeKey> keys;
+  {
+    MutexLock lock(mu_);
+    if (quotas_.max_concurrent_sessions > 0 &&
+        open_sessions_ >= quotas_.max_concurrent_sessions) {
+      return Status::ResourceExhausted(
+          "tenant '" + tenant_id_ + "' session quota reached (" +
+          std::to_string(quotas_.max_concurrent_sessions) +
+          " concurrent sessions)");
+    }
+    ++open_sessions_;  // slot claimed; construction below cannot fail
+    keys.reserve(registry_.size());
+    for (const FingerprintRecord& record : registry_.records()) {
+      keys.push_back(record.key);
+    }
+  }
+  BatchDetectOptions options;
+  options.num_threads = num_threads;
+  options.key_cache = key_cache_;
+  options.max_pending_suspects = quotas_.max_pending_suspects;
+  options.circuit_breaker = breaker_;
+  // Key preparation (the expensive part) runs outside the tenant lock.
+  auto session = std::unique_ptr<TenantSession>(new TenantSession(
+      this,
+      std::make_unique<BatchDetector::Session>(std::move(options),
+                                               std::move(keys))));
+  MutexLock lock(mu_);
+  live_sessions_.push_back(session.get());
+  return session;
+}
+
+std::vector<std::vector<TraceMatch>> TenantContext::TraceSuspects(
+    const std::vector<Histogram>& suspects, size_t num_threads) const {
+  FingerprintRegistry snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot = registry_;
+  }
+  TraceOptions options;
+  options.num_threads = num_threads;
+  options.key_cache = key_cache_;
+  return snapshot.TraceSuspects(suspects, options);
+}
+
+EngineHealthSnapshot TenantContext::Health() const {
+  EngineHealthSnapshot snapshot;
+  snapshot.admission = admission_->stats();
+  snapshot.key_cache = key_cache_->stats();
+  if (breaker_ != nullptr) snapshot.breaker = breaker_->stats();
+  MutexLock lock(mu_);
+  snapshot.open_sessions = open_sessions_;
+  for (const TenantSession* session : live_sessions_) {
+    snapshot.session_queue_depth += session->pending_suspects();
+  }
+  return snapshot;
+}
+
+size_t TenantContext::escrowed_keys() const {
+  MutexLock lock(mu_);
+  return registry_.size();
+}
+
+size_t TenantContext::open_sessions() const {
+  MutexLock lock(mu_);
+  return open_sessions_;
+}
+
+}  // namespace freqywm

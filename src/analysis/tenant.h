@@ -1,0 +1,221 @@
+#ifndef FREQYWM_ANALYSIS_TENANT_H_
+#define FREQYWM_ANALYSIS_TENANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "data/histogram.h"
+#include "exec/admission.h"
+#include "exec/batch_detector.h"
+#include "exec/cancellation.h"
+#include "exec/circuit_breaker.h"
+#include "exec/health.h"
+#include "exec/prepared_key_cache.h"
+
+namespace freqywm {
+
+/// Resource quotas of one tenant (DESIGN.md §14). Every limit defaults
+/// to 0 = "unlimited", so a default-constructed tenant behaves exactly
+/// like the pre-tenancy engine — isolation is opt-in, and quotas never
+/// change what admitted work computes, only whether work is admitted.
+struct TenantQuotas {
+  /// Maximum fingerprint keys the tenant may escrow. 0 = unlimited.
+  size_t max_escrowed_keys = 0;
+
+  /// Capacity of the tenant's private `PreparedKeyCache` slice. 0 →
+  /// `PreparedKeyCache::kDefaultCapacity`. Tenants never share a cache:
+  /// one tenant churning keys cannot evict another's warm entries.
+  size_t max_cache_entries = 0;
+
+  /// Maximum concurrently open `TenantSession`s. 0 = unlimited.
+  size_t max_concurrent_sessions = 0;
+
+  /// Maximum suspects admitted (submitted, not yet drained) across all
+  /// of the tenant's sessions — `AdmissionOptions::max_in_flight`. 0 =
+  /// unlimited.
+  size_t max_in_flight_suspects = 0;
+
+  /// Suspects that may wait inside blocking `Submit` calls —
+  /// `AdmissionOptions::max_pending`. 0 = unlimited.
+  size_t max_pending_suspects = 0;
+
+  /// Token-bucket rate limit in suspects per second, with burst
+  /// capacity — `AdmissionOptions::{rate_per_unit_time, burst}`. 0 =
+  /// unlimited rate.
+  double rate_per_unit_time = 0;
+  double burst = 0;
+
+  /// Cooldown circuit breaker over the tenant's keys: consecutive
+  /// Prepare/Detect failures before a key is quarantined, and for how
+  /// long. `failure_threshold == 0` disables the breaker for this
+  /// tenant.
+  uint32_t breaker_failure_threshold = 3;
+  std::chrono::nanoseconds breaker_cooldown = std::chrono::seconds(1);
+
+  /// Injectable clock shared by the tenant's admission controller and
+  /// circuit breaker — the testing seam (see `AdmissionOptions::
+  /// clock_nanos`). Null → the real monotonic clock.
+  std::function<int64_t()> clock_nanos;
+};
+
+class TenantContext;
+
+/// One RAII detection session scoped to a tenant (DESIGN.md §14): a
+/// `BatchDetector::Session` over the tenant's escrowed keys, fronted by
+/// the tenant's admission controller. `Submit` admits suspects (blocking
+/// with backpressure, honoring the caller's interrupt) before they enter
+/// the session queue; `TrySubmit` is the non-blocking shed-mode variant.
+/// Draining returns admitted units to the in-flight semaphore, one per
+/// drained row; destruction returns whatever is still outstanding and
+/// frees the tenant's session slot.
+///
+/// Determinism: a suspect that is admitted produces verdicts
+/// byte-identical to the same suspect through an unthrottled session at
+/// any thread count — admission changes membership of the drained set,
+/// never its bytes (enforced by tests/analysis/tenant_test.cc).
+///
+/// Concurrency: `Submit`/`TrySubmit` are thread-safe (many producers);
+/// `DrainChecked` is single-caller, like `Session::Drain`.
+class TenantSession {
+ public:
+  ~TenantSession();
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  /// Blocking submission: admits `suspects.size()` units through the
+  /// tenant's admission controller (rate + in-flight + pending budget,
+  /// deadline-aware), then enqueues through the session's bounded
+  /// backpressure path. Typed outcomes: `kResourceExhausted` sheds,
+  /// `kCancelled` / the interrupt status when `interrupt` fires while
+  /// queued. All-or-nothing: on any non-OK return NOTHING was enqueued
+  /// and no units stay leased.
+  [[nodiscard]] Status Submit(std::vector<Histogram> suspects,
+                              const InterruptContext& interrupt);
+
+  /// Non-blocking submission: sheds immediately (typed
+  /// `kResourceExhausted`) instead of waiting for tokens, capacity or
+  /// queue space. All-or-nothing like `Submit`.
+  [[nodiscard]] Status TrySubmit(std::vector<Histogram> suspects,
+                                 const Deadline& deadline = {});
+
+  /// Failure-aware drain of everything admitted so far (the
+  /// `Session::DrainChecked` contract). Each drained row returns one
+  /// admitted unit to the tenant's in-flight semaphore.
+  SessionDrainResult DrainChecked(const InterruptContext& interrupt);
+
+  /// Suspects admitted and not yet drained.
+  size_t pending_suspects() const;
+
+  /// Per-key preparation outcome of the underlying session (poisoned
+  /// columns: prepare failures and circuit-breaker quarantines).
+  const std::vector<Status>& key_statuses() const {
+    return session_->key_statuses();
+  }
+
+  const std::vector<SchemeKey>& keys() const { return session_->keys(); }
+
+ private:
+  friend class TenantContext;
+  TenantSession(TenantContext* tenant,
+                std::unique_ptr<BatchDetector::Session> session);
+
+  /// Returns `rows` admitted units to the in-flight semaphore, oldest
+  /// permits first.
+  void ReleaseUnits(size_t rows);
+
+  TenantContext* const tenant_;
+  const std::unique_ptr<BatchDetector::Session> session_;
+
+  /// Admission permits for submitted-but-undrained suspects, oldest
+  /// first; drains release from the front (FIFO, matching the session
+  /// queue's arrival order).
+  mutable Mutex mu_;
+  std::deque<AdmissionController::Permit> permits_ GUARDED_BY(mu_);
+};
+
+/// One tenant of the detection engine (DESIGN.md §14): owns the tenant's
+/// `FingerprintRegistry`, a private `PreparedKeyCache` slice, an
+/// `AdmissionController` and a `KeyCircuitBreaker`, all sized by
+/// `TenantQuotas`. The isolation contract: a tenant saturating its own
+/// quotas — or holding keys whose circuits are open — cannot change
+/// another tenant's verdicts, cache contents or latency class, because
+/// nothing here is shared across `TenantContext` instances (enforced by
+/// tests/analysis/tenant_test.cc).
+///
+/// Thread-safe throughout; `Escrow` and `OpenSession` may race with
+/// running sessions (a session binds the key set at open time — keys
+/// escrowed later join the next session, the `Session` keys-fixed-at-
+/// construction contract).
+class TenantContext {
+ public:
+  explicit TenantContext(std::string tenant_id, TenantQuotas quotas = {});
+
+  TenantContext(const TenantContext&) = delete;
+  TenantContext& operator=(const TenantContext&) = delete;
+
+  /// Escrows one buyer fingerprint into the tenant's registry. Typed
+  /// failures: `kResourceExhausted` when `max_escrowed_keys` is reached
+  /// (the quota fault site `tenant/quota` injects here), plus whatever
+  /// `FingerprintRegistry::Register` rejects.
+  [[nodiscard]] Status Escrow(const std::string& buyer_id, SchemeKey key);
+
+  /// Opens a detection session over every key escrowed so far, fronted
+  /// by this tenant's admission controller, cache and breaker.
+  /// `kResourceExhausted` when `max_concurrent_sessions` sessions are
+  /// already open. `num_threads` follows `BatchDetectOptions`.
+  Result<std::unique_ptr<TenantSession>> OpenSession(size_t num_threads = 1);
+
+  /// Traces suspects through the tenant's registry with the tenant's
+  /// cache — the serial convenience path, un-throttled (admission
+  /// applies to sessions; a trace is one bounded call).
+  std::vector<std::vector<TraceMatch>> TraceSuspects(
+      const std::vector<Histogram>& suspects, size_t num_threads = 1) const;
+
+  /// Point-in-time health of this tenant's slice of the engine:
+  /// admission counters, cache counters, breaker gauges, queue depth
+  /// summed over open sessions, open-session gauge.
+  EngineHealthSnapshot Health() const;
+
+  const std::string& tenant_id() const { return tenant_id_; }
+  const TenantQuotas& quotas() const { return quotas_; }
+  size_t escrowed_keys() const;
+  size_t open_sessions() const;
+
+  const std::shared_ptr<PreparedKeyCache>& key_cache() const {
+    return key_cache_;
+  }
+  const std::shared_ptr<KeyCircuitBreaker>& circuit_breaker() const {
+    return breaker_;
+  }
+  AdmissionController& admission() { return *admission_; }
+
+ private:
+  friend class TenantSession;
+
+  const std::string tenant_id_;
+  const TenantQuotas quotas_;
+  const std::shared_ptr<PreparedKeyCache> key_cache_;
+  const std::shared_ptr<KeyCircuitBreaker> breaker_;
+  const std::unique_ptr<AdmissionController> admission_;
+
+  mutable Mutex mu_;
+  FingerprintRegistry registry_ GUARDED_BY(mu_);
+  size_t open_sessions_ GUARDED_BY(mu_) = 0;
+  /// Live sessions, for summing queue depth into `Health` — raw
+  /// borrows, erased by each session's destructor.
+  std::vector<const TenantSession*> live_sessions_ GUARDED_BY(mu_);
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_ANALYSIS_TENANT_H_

@@ -47,6 +47,8 @@ void BatchDetector::Session::PrepareKeys() {
   key_options_.assign(keys_.size(), DetectOptions{});
   prepared_.assign(keys_.size(), nullptr);
   key_status_.assign(keys_.size(), Status::OK());
+  key_fingerprint_.assign(
+      options_.circuit_breaker != nullptr ? keys_.size() : 0, std::string());
   dense_ids_.assign(keys_.size(), {});
   for (size_t j = 0; j < keys_.size(); ++j) {
     const WatermarkScheme* scheme = schemes_.Get(keys_[j].scheme);
@@ -61,6 +63,18 @@ void BatchDetector::Session::PrepareKeys() {
     key_options_[j] = options_.use_recommended_options
                           ? scheme->RecommendedDetectOptions(keys_[j])
                           : options_.detect_options;
+    // Quarantined key (DESIGN.md §14): an open circuit poisons the
+    // column with the typed cooldown status before any preparation is
+    // paid — the breaker's whole point is not re-paying for a key that
+    // keeps failing.
+    if (options_.circuit_breaker != nullptr) {
+      key_fingerprint_[j] = PreparedKeyCache::Fingerprint(keys_[j]);
+      Status allowed = options_.circuit_breaker->Allow(key_fingerprint_[j]);
+      if (!allowed.ok()) {
+        key_status_[j] = std::move(allowed);
+        continue;
+      }
+    }
     // A preparation failure — injected here, or surfaced by the cache —
     // poisons only this column (DESIGN.md §13): prepared_[j] stays null,
     // the typed status is recorded, and every other key proceeds.
@@ -82,6 +96,9 @@ void BatchDetector::Session::PrepareKeys() {
       }
     }
     if (!prep.ok()) {
+      if (options_.circuit_breaker != nullptr) {
+        options_.circuit_breaker->RecordFailure(key_fingerprint_[j]);
+      }
       key_status_[j] = std::move(prep);
       continue;
     }
@@ -147,6 +164,55 @@ void BatchDetector::Session::AddSuspects(std::vector<Histogram> suspects) {
   pending_cv_.NotifyAll();
 }
 
+Status BatchDetector::Session::TryAddSuspects(
+    std::vector<Histogram> suspects) {
+  FREQYWM_FAULT_POINT("session/add_bounded");
+  const size_t budget = options_.max_pending_suspects;
+  {
+    MutexLock lock(pending_mutex_);
+    if (budget > 0 && pending_.size() + suspects.size() > budget) {
+      return Status::ResourceExhausted(
+          "shed: session queue full (" + std::to_string(pending_.size()) +
+          " pending + " + std::to_string(suspects.size()) + " offered > " +
+          std::to_string(budget) + " budget)");
+    }
+    for (Histogram& suspect : suspects) {
+      pending_.push_back(std::move(suspect));
+    }
+  }
+  pending_cv_.NotifyAll();
+  return Status::OK();
+}
+
+Status BatchDetector::Session::AddSuspectsBounded(
+    std::vector<Histogram> suspects, const InterruptContext& interrupt) {
+  FREQYWM_FAULT_POINT("session/add_bounded");
+  const size_t budget = options_.max_pending_suspects;
+  if (budget > 0 && suspects.size() > budget) {
+    // Can never fit; blocking would hang forever.
+    return Status::ResourceExhausted(
+        "shed: batch of " + std::to_string(suspects.size()) +
+        " suspects exceeds the whole pending budget of " +
+        std::to_string(budget));
+  }
+  constexpr std::chrono::milliseconds kWaitQuantum(10);
+  {
+    MutexLock lock(pending_mutex_);
+    while (budget > 0 && pending_.size() + suspects.size() > budget) {
+      FREQYWM_RETURN_NOT_OK(interrupt.Check());
+      // Producer backpressure: drains notify pending_cv_ after claiming
+      // the queue, so space-waiters wake; the bounded quantum caps how
+      // long an interruption can go unnoticed if no drain ever runs.
+      pending_cv_.WaitFor(pending_mutex_, kWaitQuantum);
+    }
+    for (Histogram& suspect : suspects) {
+      pending_.push_back(std::move(suspect));
+    }
+  }
+  pending_cv_.NotifyAll();
+  return Status::OK();
+}
+
 Status BatchDetector::Session::WaitForSuspects(
     size_t min_count, const InterruptContext& interrupt) const {
   // Bounded sleeps instead of an open-ended Wait: the quantum caps how
@@ -175,6 +241,9 @@ std::vector<std::vector<DetectResult>> BatchDetector::Session::Drain() {
     MutexLock lock(pending_mutex_);
     batch.swap(pending_);
   }
+  // The claim freed the whole pending budget: wake any producer blocked
+  // in AddSuspectsBounded.
+  pending_cv_.NotifyAll();
   return Detect(batch);
 }
 
@@ -247,6 +316,9 @@ SessionDrainResult BatchDetector::Session::DrainChecked(
     MutexLock lock(pending_mutex_);
     batch.swap(pending_);
   }
+  // The claim freed the whole pending budget: wake any producer blocked
+  // in AddSuspectsBounded.
+  pending_cv_.NotifyAll();
   return DetectChecked(batch, interrupt);
 }
 
@@ -341,7 +413,36 @@ SessionDrainResult BatchDetector::Session::DetectChecked(
               return a.suspect != b.suspect ? a.suspect < b.suspect
                                             : a.key < b.key;
             });
+  RecordColumnOutcomes(out);
   return out;
+}
+
+void BatchDetector::Session::RecordColumnOutcomes(
+    const SessionDrainResult& result) const {
+  if (options_.circuit_breaker == nullptr || keys_.empty()) return;
+  const size_t rows =
+      keys_.empty() ? 0 : result.evaluated.size() / keys_.size();
+  std::vector<uint8_t> column_failed(keys_.size(), 0);
+  for (const SessionCellError& error : result.cell_errors) {
+    if (error.key < keys_.size()) column_failed[error.key] = 1;
+  }
+  for (size_t j = 0; j < keys_.size(); ++j) {
+    if (!key_status_[j].ok()) continue;  // poisoned/quarantined column
+    if (column_failed[j]) {
+      options_.circuit_breaker->RecordFailure(key_fingerprint_[j]);
+      continue;
+    }
+    bool evaluated_any = false;
+    for (size_t i = 0; i < rows && !evaluated_any; ++i) {
+      evaluated_any = result.evaluated[i * keys_.size() + j] != 0;
+    }
+    // A cleanly evaluated column is end-to-end evidence the key is
+    // healthy; an interrupted drain that never reached the column is
+    // evidence of nothing.
+    if (evaluated_any) {
+      options_.circuit_breaker->RecordSuccess(key_fingerprint_[j]);
+    }
+  }
 }
 
 // ------------------------------------------------------------------- Run

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/options.h"
 #include "data/histogram.h"
 #include "exec/cancellation.h"
+#include "exec/circuit_breaker.h"
 #include "exec/prepared_key_cache.h"
 #include "exec/thread_pool.h"
 
@@ -75,6 +77,22 @@ struct BatchDetectOptions {
   /// once per `Run`. When null, keys are prepared privately. Cache state
   /// (cold, warm, evicted) never changes detection output.
   std::shared_ptr<PreparedKeyCache> key_cache;
+
+  /// Bounded pending-work budget for the session queue (DESIGN.md §14):
+  /// the maximum suspects `TryAddSuspects`/`AddSuspectsBounded` allow to
+  /// accumulate between drains. 0 (default) = unbounded — the legacy
+  /// `AddSuspect`/`AddSuspects` contract, which never sheds, is
+  /// unchanged either way.
+  size_t max_pending_suspects = 0;
+
+  /// Optional cooldown circuit breaker over key identities (DESIGN.md
+  /// §14). When set, a key whose circuit is open is skipped at
+  /// `PrepareKeys` — its column poisoned with the typed quarantine
+  /// status — and drain outcomes feed back per column: a prepare
+  /// failure or a drained column with cell errors records a failure, a
+  /// cleanly evaluated column records a success. Shareable across
+  /// sessions (that is the point: repeated failures accumulate).
+  std::shared_ptr<KeyCircuitBreaker> circuit_breaker;
 };
 
 /// The batch detection engine (DESIGN.md §7, §10): evaluates the full
@@ -146,6 +164,27 @@ class BatchDetector {
     void AddSuspect(Histogram suspect);
     void AddSuspects(std::vector<Histogram> suspects);
 
+    /// Bounded enqueue, shed mode (DESIGN.md §14): admits `suspects`
+    /// only when the whole batch fits in the configured
+    /// `max_pending_suspects` budget; otherwise sheds all-or-nothing
+    /// with typed `kResourceExhausted` and enqueues NOTHING. With no
+    /// budget configured this is `AddSuspects` plus an OK. Thread-safe
+    /// like `AddSuspects`.
+    [[nodiscard]] Status TryAddSuspects(std::vector<Histogram> suspects);
+
+    /// Bounded enqueue, backpressure mode (DESIGN.md §14): blocks until
+    /// the batch fits in the budget (drains free space; the wait rides
+    /// the same `pending_cv_` as `WaitForSuspects`, in bounded ~10 ms
+    /// quanta), the token is cancelled, or the deadline expires —
+    /// returning the interruption status without enqueueing anything. A
+    /// batch larger than the whole budget can never fit and is shed
+    /// immediately with `kResourceExhausted`. Admitted batches are
+    /// byte-equivalent to an `AddSuspects` call: only *whether/when*
+    /// suspects enter the queue changes, never what their drain
+    /// computes.
+    [[nodiscard]] Status AddSuspectsBounded(std::vector<Histogram> suspects,
+                                            const InterruptContext& interrupt);
+
     /// Suspects enqueued since the last `Drain`. Thread-safe.
     size_t pending_suspects() const;
 
@@ -197,6 +236,11 @@ class BatchDetector {
 
    private:
     void PrepareKeys();
+    /// Feeds one drained column's outcome back to the shared circuit
+    /// breaker (no-op without one): a column that evaluated at least one
+    /// cell cleanly records a success, a column with cell errors records
+    /// a failure.
+    void RecordColumnOutcomes(const SessionDrainResult& result) const;
     /// Scatters `suspect` into flat per-vocabulary-id arrays, probing
     /// whichever side (suspect histogram vs union vocabulary) is smaller;
     /// both directions fill identical arrays.
@@ -210,6 +254,10 @@ class BatchDetector {
     std::vector<DetectOptions> key_options_;
     std::vector<std::shared_ptr<const PreparedKey>> prepared_;
     std::vector<Status> key_status_;
+    /// Cache fingerprints of the key column, resolved at construction —
+    /// the circuit breaker's key identities. Empty when no breaker is
+    /// configured.
+    std::vector<std::string> key_fingerprint_;
 
     /// Dense-gather state: the union of the keys' vocabularies interned
     /// into ids `[0, vocab_.size())`, and per key the map from its

@@ -1,0 +1,74 @@
+#include "exec/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace freqywm {
+namespace {
+
+// The monotonic-clock read behind the default `CircuitBreakerOptions::
+// clock_nanos` (determinism allowlist: the breaker gates *whether* a
+// quarantined key is probed, never *what* a probed key computes).
+int64_t RealNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+KeyCircuitBreaker::KeyCircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {}
+
+int64_t KeyCircuitBreaker::Now() const {
+  return options_.clock_nanos ? options_.clock_nanos() : RealNowNanos();
+}
+
+Status KeyCircuitBreaker::Allow(std::string_view key) {
+  MutexLock lock(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end() || !it->second.open) return Status::OK();
+  if (Now() >= it->second.reopen_at_nanos) {
+    // Half-open: this caller probes; the circuit stays open on paper so
+    // a concurrent flood cannot all pass — the next Allow before a
+    // recorded outcome pushes the probe window forward by one cooldown.
+    it->second.reopen_at_nanos = Now() + options_.cooldown.count();
+    return Status::OK();
+  }
+  ++rejections_;
+  return Status::Unavailable("circuit open for key (cooldown active after " +
+                             std::to_string(it->second.consecutive_failures) +
+                             " consecutive failures)");
+}
+
+void KeyCircuitBreaker::RecordSuccess(std::string_view key) {
+  MutexLock lock(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;
+  keys_.erase(it);
+}
+
+void KeyCircuitBreaker::RecordFailure(std::string_view key) {
+  MutexLock lock(mu_);
+  auto [it, inserted] = keys_.emplace(std::string(key), KeyState{});
+  KeyState& state = it->second;
+  ++state.consecutive_failures;
+  const uint32_t threshold = std::max(1u, options_.failure_threshold);
+  if (state.consecutive_failures >= threshold) {
+    if (!state.open) ++trips_;
+    state.open = true;
+    state.reopen_at_nanos = Now() + options_.cooldown.count();
+  }
+}
+
+CircuitBreakerStats KeyCircuitBreaker::stats() const {
+  MutexLock lock(mu_);
+  CircuitBreakerStats out;
+  out.trips = trips_;
+  out.rejections = rejections_;
+  for (const auto& [key, state] : keys_) {
+    if (state.open) ++out.open_keys;
+  }
+  return out;
+}
+
+}  // namespace freqywm

@@ -1,0 +1,45 @@
+#ifndef FREQYWM_EXEC_HEALTH_H_
+#define FREQYWM_EXEC_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "exec/admission.h"
+#include "exec/circuit_breaker.h"
+#include "exec/prepared_key_cache.h"
+
+namespace freqywm {
+
+/// Point-in-time health of one detection-engine instance (DESIGN.md §14):
+/// the admission counters/gauges, the prepared-key cache counters, the
+/// circuit-breaker gauges, and the session queue depth — everything an
+/// operator (or the `bench_overload` load generator) needs to see
+/// overload coming before it becomes memory growth. Pure data; each
+/// sub-snapshot is internally consistent (taken under its owner's lock)
+/// but the snapshot as a whole is not one atomic cut across components.
+struct EngineHealthSnapshot {
+  /// Admit/shed counters and in-flight/pending gauges
+  /// (`AdmissionController::stats`).
+  AdmissionStats admission;
+
+  /// Hit/miss/eviction counters and entry gauge
+  /// (`PreparedKeyCache::stats`).
+  PreparedKeyCacheStats key_cache;
+
+  /// Quarantine gauges (`KeyCircuitBreaker::stats`).
+  CircuitBreakerStats breaker;
+
+  /// Suspects enqueued and not yet drained (`Session::pending_suspects`,
+  /// summed over the instance's live sessions).
+  size_t session_queue_depth = 0;
+
+  /// Sessions currently open (tenant gauge; 0 when not tenant-scoped).
+  size_t open_sessions = 0;
+
+  /// Work units turned away, all shed reasons combined.
+  uint64_t total_shed() const { return admission.total_shed(); }
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_EXEC_HEALTH_H_

@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <thread>
 
+#include "crypto/sha256.h"
+
 namespace freqywm {
+namespace {
+
+void AppendU64Le(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+double RetryJitterFactor(const RetryPolicy& policy, int attempt) {
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0) return 1.0;
+  // Same material shape as the fault injector's decision digest: pure
+  // data in, so the factor for (seed, site, attempt) is identical on
+  // every run, platform and thread count.
+  std::string material;
+  material.reserve(policy.jitter_site.size() + 16);
+  AppendU64Le(material, policy.jitter_seed);
+  material.append(policy.jitter_site);
+  AppendU64Le(material, static_cast<uint64_t>(attempt));
+  const Sha256::Digest digest = Sha256::Hash(material);
+  // u uniform in [0, 1): first 8 digest bytes over 2^64.
+  const double u = static_cast<double>(DigestPrefixU64(digest)) /
+                   18446744073709551616.0;  // 2^64
+  return 1.0 - jitter * u;
+}
 
 Status RetryWithBackoff(const RetryPolicy& policy,
                         const InterruptContext& interrupt,
@@ -20,10 +49,17 @@ Status RetryWithBackoff(const RetryPolicy& policy,
     if (!retryable || attempt + 1 >= attempts) return last;
     FREQYWM_RETURN_NOT_OK(interrupt.Check());
     if (backoff.count() > 0) {
+      // Scale this sleep (only) by the deterministic jitter factor; the
+      // un-jittered `backoff` keeps compounding so jitter never changes
+      // the exponential envelope, only where each sleep lands within
+      // [1 - jitter, 1] of it.
+      const double factor = RetryJitterFactor(policy, attempt);
+      const auto jittered = std::chrono::nanoseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * factor));
       if (policy.sleep) {
-        policy.sleep(backoff);
+        policy.sleep(jittered);
       } else {
-        std::this_thread::sleep_for(backoff);
+        std::this_thread::sleep_for(jittered);
       }
     }
     // Grow the backoff, saturating well below int64 nanoseconds (~292

@@ -2,7 +2,9 @@
 #define FREQYWM_EXEC_RETRY_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/status.h"
 #include "exec/cancellation.h"
@@ -12,8 +14,9 @@ namespace freqywm {
 /// Policy of a bounded retry loop over a transiently-failing operation
 /// (DESIGN.md §13) — registry I/O under a flaky filesystem, eventually
 /// any network hop. Deliberately small: exponential backoff with a cap
-/// on attempts, no jitter (determinism first; a caller wanting jitter
-/// supplies it via `sleep`).
+/// on attempts and deterministic, seeded jitter (site-keyed like fault
+/// injection, so concurrent retriers decorrelate without any run-to-run
+/// nondeterminism).
 struct RetryPolicy {
   /// Total attempts, including the first (floor of 1).
   int max_attempts = 3;
@@ -22,6 +25,23 @@ struct RetryPolicy {
   /// each later one.
   std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
   double multiplier = 2.0;
+
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a factor in
+  /// [1 - jitter, 1] derived from SHA-256(jitter_seed || jitter_site ||
+  /// attempt) — pure data, like the fault injector's schedule, so the
+  /// exact sleep sequence is reproducible on every run, thread count
+  /// and platform, while retriers with distinct (seed, site) pairs
+  /// desynchronize instead of hammering a recovering resource in
+  /// lockstep. 0 (default) = the exact exponential sequence, unchanged
+  /// from PR 8.
+  double jitter = 0.0;
+
+  /// The jitter stream identity. `jitter_site` names the call site
+  /// (stable slash-separated, e.g. "registry_io/save"); `jitter_seed`
+  /// separates concurrent retriers at the same site (a request id, a
+  /// shard index). Both default to the zero stream.
+  uint64_t jitter_seed = 0;
+  std::string jitter_site;
 
   /// Injectable sleep, the testing seam: tests pass a fake that records
   /// the requested durations and returns immediately, so retry tests
@@ -33,6 +53,14 @@ struct RetryPolicy {
   /// (the transient code; every other code is permanent by contract).
   std::function<bool(const Status&)> retryable;
 };
+
+/// The deterministic jitter factor applied to the sleep before attempt
+/// `attempt + 1` (0-based, matching the loop in `RetryWithBackoff`):
+/// 1.0 when `policy.jitter` is 0, else a value in
+/// [1 - jitter, 1] that is a pure function of
+/// (jitter_seed, jitter_site, attempt). Exposed so tests can assert the
+/// exact backoff sequence rather than a range.
+double RetryJitterFactor(const RetryPolicy& policy, int attempt);
 
 /// Runs `op` until it succeeds, exhausts `policy.max_attempts`, fails
 /// non-retryably, or `interrupt` fires. Returns the first OK, the last

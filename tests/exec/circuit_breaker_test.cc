@@ -1,0 +1,145 @@
+// KeyCircuitBreaker suite (DESIGN.md §14): consecutive-failure trips,
+// cooldown expiry under an injected clock, half-open probing, success
+// resets, and the typed rejection contract (kUnavailable, the retryable
+// code — the key may heal).
+
+#include "exec/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace freqywm {
+namespace {
+
+using std::chrono::seconds;
+
+struct FakeClockBreaker {
+  int64_t now_nanos = 0;
+
+  KeyCircuitBreaker Make(uint32_t threshold, seconds cooldown) {
+    CircuitBreakerOptions options;
+    options.failure_threshold = threshold;
+    options.cooldown = cooldown;
+    options.clock_nanos = [this] { return now_nanos; };
+    return KeyCircuitBreaker(std::move(options));
+  }
+
+  void AdvanceSeconds(int64_t s) { now_nanos += s * 1'000'000'000; }
+};
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(3, seconds(1));
+
+  breaker.RecordFailure("key-a");
+  breaker.RecordFailure("key-a");
+  EXPECT_TRUE(breaker.Allow("key-a").ok());
+  EXPECT_EQ(breaker.stats().trips, 0u);
+  EXPECT_EQ(breaker.stats().open_keys, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndRejectsTyped) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(3, seconds(1));
+
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure("key-a");
+  Status rejected = breaker.Allow("key-a");
+  ASSERT_FALSE(rejected.ok());
+  // kUnavailable: the retryable code — the cooldown will expire and the
+  // key may heal, unlike a permanent kResourceExhausted shed.
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+
+  CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.trips, 1u);
+  EXPECT_EQ(stats.open_keys, 1u);
+  EXPECT_EQ(stats.rejections, 1u);
+
+  // Other keys are unaffected — quarantine is per key identity.
+  EXPECT_TRUE(breaker.Allow("key-b").ok());
+}
+
+TEST(CircuitBreakerTest, CooldownExpiryAllowsOneProbe) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(1, seconds(1));
+
+  breaker.RecordFailure("key-a");
+  EXPECT_FALSE(breaker.Allow("key-a").ok());
+
+  clock.AdvanceSeconds(2);
+  // Half-open: the first caller probes; an immediate second caller is
+  // still rejected (the probe window moved forward one cooldown).
+  EXPECT_TRUE(breaker.Allow("key-a").ok());
+  EXPECT_FALSE(breaker.Allow("key-a").ok());
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesCircuit) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(1, seconds(1));
+
+  breaker.RecordFailure("key-a");
+  clock.AdvanceSeconds(2);
+  ASSERT_TRUE(breaker.Allow("key-a").ok());
+  breaker.RecordSuccess("key-a");
+
+  // Fully healed: open_keys drops, failure streak resets — the next
+  // single failure must not re-trip a threshold-2 breaker.
+  EXPECT_EQ(breaker.stats().open_keys, 0u);
+  EXPECT_TRUE(breaker.Allow("key-a").ok());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(1, seconds(1));
+
+  breaker.RecordFailure("key-a");
+  clock.AdvanceSeconds(2);
+  ASSERT_TRUE(breaker.Allow("key-a").ok());
+  breaker.RecordFailure("key-a");  // the probe failed
+
+  EXPECT_FALSE(breaker.Allow("key-a").ok());
+  clock.AdvanceSeconds(2);
+  EXPECT_TRUE(breaker.Allow("key-a").ok());  // next probe window
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureStreak) {
+  FakeClockBreaker clock;
+  KeyCircuitBreaker breaker = clock.Make(3, seconds(1));
+
+  breaker.RecordFailure("key-a");
+  breaker.RecordFailure("key-a");
+  breaker.RecordSuccess("key-a");  // streak broken
+  breaker.RecordFailure("key-a");
+  breaker.RecordFailure("key-a");
+  EXPECT_TRUE(breaker.Allow("key-a").ok());
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, ConcurrentRecordingIsSafe) {
+  KeyCircuitBreaker breaker(CircuitBreakerOptions{});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker, t] {
+      const std::string key = "key-" + std::to_string(t % 2);
+      for (int i = 0; i < 500; ++i) {
+        (void)breaker.Allow(key);
+        if (i % 3 == 0) {
+          breaker.RecordFailure(key);
+        } else {
+          breaker.RecordSuccess(key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // No crash/race (TSan) and the stats stay internally consistent.
+  CircuitBreakerStats stats = breaker.stats();
+  EXPECT_LE(stats.open_keys, 2u);
+}
+
+}  // namespace
+}  // namespace freqywm

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/registry.h"
+#include "analysis/tenant.h"
 #include "api/factory.h"
 #include "common/random.h"
 #include "datagen/power_law.h"
@@ -158,6 +159,93 @@ TEST_F(FaultSweepTest, PreparedKeyCacheUnderSweptFaults) {
     auto entry = cache.TryGetOrPrepare(scheme, fx.keys[0]);
     ASSERT_TRUE(entry.ok()) << "seed " << seed << ": " << entry.status();
     (void)successes;
+  }
+}
+
+TEST_F(FaultSweepTest, AdmissionAndTenantPathUnderSweptFaults) {
+  // Sweeps the ISSUE 9 sites — admission/acquire, session/add_bounded,
+  // tenant/quota — through the tenant-fronted submit/drain path. Sweep
+  // invariants: every failure is typed (kUnavailable injections or the
+  // quota/shed taxonomy), the unit accounting balances (drained rows ==
+  // admitted suspects, in-flight returns to zero), and every evaluated
+  // cell matches the clean run byte for byte.
+  const SweepFixture& fx = Fixture();
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    FaultInjector::Global().Disarm();
+    TenantQuotas quotas;
+    quotas.max_escrowed_keys = fx.keys.size();
+    quotas.max_in_flight_suspects = fx.suspects.size();
+    quotas.max_pending_suspects = fx.suspects.size();
+    TenantContext tenant("sweep", quotas);
+    ASSERT_TRUE(tenant.Escrow("sweep-alpha", fx.keys[0]).ok());
+    ASSERT_TRUE(tenant.Escrow("sweep-beta", fx.keys[1]).ok());
+
+    FaultInjector::Global().ArmSeeded(seed, kFailOneIn);
+    // tenant/quota fires inside Escrow: the over-quota attempt must be
+    // typed either way — an injected kUnavailable or the quota's
+    // kResourceExhausted — and never register partially.
+    Status extra = tenant.Escrow("sweep-gamma", fx.keys[0]);
+    ASSERT_FALSE(extra.ok()) << "seed " << seed;
+    EXPECT_TRUE(extra.code() == StatusCode::kUnavailable ||
+                extra.code() == StatusCode::kResourceExhausted)
+        << "seed " << seed << ": " << extra;
+    EXPECT_EQ(tenant.escrowed_keys(), fx.keys.size()) << "seed " << seed;
+
+    auto session = tenant.OpenSession(2);
+    ASSERT_TRUE(session.ok()) << "seed " << seed << ": " << session.status();
+    uint64_t admitted = 0;
+    for (const Histogram& suspect : fx.suspects) {
+      Status submitted =
+          session.value()->TrySubmit(std::vector<Histogram>{suspect});
+      if (submitted.ok()) {
+        ++admitted;
+      } else {
+        EXPECT_TRUE(submitted.code() == StatusCode::kUnavailable ||
+                    submitted.code() == StatusCode::kResourceExhausted)
+            << "seed " << seed << ": " << submitted;
+      }
+    }
+    SessionDrainResult result =
+        session.value()->DrainChecked(InterruptContext{});
+    FaultInjector::Global().Disarm();
+
+    if (!result.status.ok()) {
+      EXPECT_EQ(result.status.code(), StatusCode::kUnavailable)
+          << "seed " << seed << ": " << result.status;
+      continue;
+    }
+    EXPECT_EQ(result.verdicts.size(), admitted) << "seed " << seed;
+    // Accounting balance: every admitted unit returned by the drain.
+    // The cumulative admitted counter may exceed the successful-submit
+    // count — a submission can clear admission and then fault at the
+    // session/add_bounded site, which releases its units again — but
+    // never undercount it, and the in-flight gauge must drain to zero.
+    EXPECT_EQ(tenant.Health().admission.in_flight, 0u) << "seed " << seed;
+    EXPECT_GE(tenant.Health().admission.admitted, admitted)
+        << "seed " << seed;
+
+    // Identity: every evaluated cell of every drained row must be
+    // byte-identical to SOME clean verdict row's cell set (which
+    // suspects were admitted varies with the fault schedule, so
+    // membership is free — the bytes of admitted work are not).
+    for (size_t r = 0; r < result.verdicts.size(); ++r) {
+      bool matches_some_clean_row = false;
+      for (size_t i = 0; i < fx.suspects.size() && !matches_some_clean_row;
+           ++i) {
+        bool all_match = true;
+        for (size_t j = 0; j < fx.keys.size(); ++j) {
+          if (result.evaluated[r * fx.keys.size() + j] == 0) continue;
+          if (!(result.verdicts[r][j] == fx.clean_verdicts[i][j])) {
+            all_match = false;
+            break;
+          }
+        }
+        matches_some_clean_row = all_match;
+      }
+      EXPECT_TRUE(matches_some_clean_row)
+          << "seed " << seed << " drained row " << r
+          << " matches no clean verdict row";
+    }
   }
 }
 

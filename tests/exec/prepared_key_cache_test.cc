@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -166,6 +167,72 @@ TEST(PreparedKeyCacheTest, CachedStateIsPureFunctionOfKey) {
       escrowed.scheme->Detect(escrowed.copy, escrowed.key, options);
   EXPECT_TRUE(via_cache == via_key);
   EXPECT_TRUE(via_cache.accepted);
+}
+
+TEST(PreparedKeyCacheTest, StatsCountEveryLookupPathExactly) {
+  // Regression for the health-snapshot wiring (DESIGN.md §14): the
+  // `hits + misses == lookups` ledger must hold across ALL THREE lookup
+  // paths — Get, GetOrPrepare and TryGetOrPrepare — so the overload
+  // bench's cache gauges are trustworthy.
+  Histogram original = MakeCleanHistogram(55);
+  Escrowed a = MakeEscrowed(811, original);
+  Escrowed b = MakeEscrowed(812, original);
+  PreparedKeyCache cache(8);
+
+  EXPECT_EQ(cache.Get(a.key), nullptr);                       // miss
+  EXPECT_NE(cache.GetOrPrepare(*a.scheme, a.key), nullptr);   // miss+insert
+  EXPECT_NE(cache.GetOrPrepare(*a.scheme, a.key), nullptr);   // hit
+  auto tried = cache.TryGetOrPrepare(*b.scheme, b.key);       // miss+insert
+  ASSERT_TRUE(tried.ok());
+  tried = cache.TryGetOrPrepare(*b.scheme, b.key);            // hit
+  ASSERT_TRUE(tried.ok());
+  EXPECT_NE(cache.Get(b.key), nullptr);                       // hit
+
+  PreparedKeyCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits + stats.misses, 6u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PreparedKeyCacheTest, StatsSnapshotIsConsistentUnderConcurrentTraffic) {
+  // The snapshot is taken under the cache lock: a reader polling stats
+  // while writers churn must never observe hits + misses exceeding the
+  // number of lookups issued so far, nor size above capacity.
+  Histogram original = MakeCleanHistogram(56);
+  std::vector<Escrowed> keys;
+  for (uint64_t seed : {821, 822, 823}) {
+    keys.push_back(MakeEscrowed(seed, original));
+  }
+  PreparedKeyCache cache(2);  // forces evictions
+  constexpr size_t kWriters = 4;
+  constexpr size_t kIters = 300;
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      PreparedKeyCacheStats snap = cache.stats();
+      EXPECT_LE(snap.hits + snap.misses, kWriters * kIters);
+      EXPECT_LE(snap.size, cache.capacity());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = 0; i < kIters; ++i) {
+        const Escrowed& e = keys[(t + i) % keys.size()];
+        EXPECT_NE(cache.GetOrPrepare(*e.scheme, e.key), nullptr);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true);
+  reader.join();
+
+  PreparedKeyCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kWriters * kIters);
+  EXPECT_GE(stats.evictions, 1u);
 }
 
 TEST(PreparedKeyCacheTest, ConcurrentHitMissEvictUnderContention) {

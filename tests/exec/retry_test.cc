@@ -154,6 +154,72 @@ TEST(RetryTest, CustomRetryablePredicate) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RetryTest, ZeroJitterKeepsExactLegacySequence) {
+  // jitter = 0 (the default) must reproduce the pre-jitter byte-exact
+  // backoff sequence: factor is exactly 1.0, no rounding applied.
+  FakeSleepPolicy fake(4);
+  EXPECT_EQ(RetryJitterFactor(fake.policy, 0), 1.0);
+  EXPECT_EQ(RetryJitterFactor(fake.policy, 7), 1.0);
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(fake.sleeps.size(), 3u);
+  EXPECT_EQ(fake.sleeps[0], nanoseconds(milliseconds(1)));
+  EXPECT_EQ(fake.sleeps[1], nanoseconds(milliseconds(2)));
+  EXPECT_EQ(fake.sleeps[2], nanoseconds(milliseconds(4)));
+}
+
+TEST(RetryTest, JitterFactorIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 42;
+  policy.jitter_site = "registry_io/save";
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double factor = RetryJitterFactor(policy, attempt);
+    EXPECT_GE(factor, 0.5) << "attempt " << attempt;
+    EXPECT_LE(factor, 1.0) << "attempt " << attempt;
+    // Pure function of (seed, site, attempt): same inputs, same factor.
+    EXPECT_EQ(factor, RetryJitterFactor(policy, attempt));
+  }
+  // Distinct seeds and sites give distinct jitter streams.
+  RetryPolicy other_seed = policy;
+  other_seed.jitter_seed = 43;
+  EXPECT_NE(RetryJitterFactor(policy, 0), RetryJitterFactor(other_seed, 0));
+  RetryPolicy other_site = policy;
+  other_site.jitter_site = "registry_io/load";
+  EXPECT_NE(RetryJitterFactor(policy, 0), RetryJitterFactor(other_site, 0));
+}
+
+TEST(RetryTest, JitteredSequenceMatchesFactorExactly) {
+  // The observed sleeps must equal backoff * RetryJitterFactor exactly —
+  // the same truncation the implementation applies — and the factors
+  // must compound off the UN-jittered exponential envelope.
+  FakeSleepPolicy fake(4);
+  fake.policy.jitter = 0.25;
+  fake.policy.jitter_seed = 7;
+  fake.policy.jitter_site = "test/jitter";
+  int calls = 0;
+  Status status = RetryWithBackoff(fake.policy, InterruptContext{}, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(fake.sleeps.size(), 3u);
+  nanoseconds envelope = milliseconds(1);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const double factor = RetryJitterFactor(fake.policy, attempt);
+    const auto expected = nanoseconds(static_cast<int64_t>(
+        static_cast<double>(envelope.count()) * factor));
+    EXPECT_EQ(fake.sleeps[attempt], expected) << "attempt " << attempt;
+    EXPECT_LT(fake.sleeps[attempt], envelope + nanoseconds(1));
+    EXPECT_GE(fake.sleeps[attempt], envelope * 3 / 4);
+    envelope *= 2;
+  }
+}
+
 TEST(RetryTest, SingleAttemptPolicyNeverSleeps) {
   FakeSleepPolicy fake(1);
   int calls = 0;
