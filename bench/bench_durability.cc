@@ -1,0 +1,272 @@
+// bench_durability: cost of durability for the fingerprint registry
+// (DESIGN.md §15, ISSUE 10). Two questions, three fsync policies:
+//
+//  1. Escrow throughput — registrations/sec through the tenant Escrow
+//     path into a DurableRegistry under fsync=every (one fsync per
+//     ack), fsync=group (bounded unsynced window) and fsync=none
+//     (crash-durability delegated to the OS), against the in-memory
+//     registry as the zero-durability baseline.
+//
+//  2. Recovery time — wall clock for DurableRegistry::Open at 10k,
+//     100k and 1M escrowed keys, both from a pure WAL replay (no
+//     checkpoint ever ran) and from a published snapshot (replay of an
+//     empty log). Perf-smoke runs the 10k/100k points only.
+//
+// The identity section routes every correctness claim through the
+// shared `bench::IdentityGate` (wmlint's identity_gate contract):
+// recovery after every policy and every scale must reproduce exactly
+// the acknowledged key set, byte for byte, and the replay/duplicate
+// counters must account for every record. The process exits non-zero
+// on any mismatch, never on timing. Results land in
+// BENCH_durability.json.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/durable_registry.h"
+#include "analysis/registry.h"
+#include "analysis/tenant.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+using namespace freqywm;
+
+namespace {
+
+/// A scratch directory under TempDir-equivalent space, recreated from
+/// empty on every use so reruns never replay a stale WAL.
+std::string ScratchDir(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr && base[0] != '\0' ? base
+                                                                   : "/tmp") +
+                    "/freqywm_bench_durability_" + name;
+  std::remove(DurableRegistry::SnapshotPath(dir).c_str());
+  std::remove(DurableRegistry::WalPath(dir).c_str());
+  ::rmdir(dir.c_str());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void RemoveScratch(const std::string& dir) {
+  std::remove(DurableRegistry::SnapshotPath(dir).c_str());
+  std::remove(DurableRegistry::WalPath(dir).c_str());
+  ::rmdir(dir.c_str());
+}
+
+SchemeKey KeyFor(size_t i) {
+  return SchemeKey{"wm-custom", "bench-payload-" + std::to_string(i)};
+}
+
+std::string BuyerFor(size_t i) { return "buyer-" + std::to_string(i); }
+
+const char* PolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kEveryRecord:
+      return "every";
+    case WalSyncPolicy::kGroupCommit:
+      return "group";
+    case WalSyncPolicy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+struct ThroughputPoint {
+  std::string policy;
+  size_t registrations = 0;
+  double elapsed_s = 0;
+  double ops_per_s = 0;
+  bool recovered_identical = false;
+};
+
+/// Escrow throughput through the tenant path for one fsync policy; the
+/// recovery check reopens the directory and compares the full key set
+/// against what was acknowledged.
+ThroughputPoint RunEscrowThroughput(WalSyncPolicy policy, size_t count,
+                                    bench::IdentityGate& gate) {
+  ThroughputPoint point;
+  point.policy = PolicyName(policy);
+  point.registrations = count;
+  const std::string dir = ScratchDir(std::string("escrow_") + point.policy);
+
+  {
+    TenantQuotas quotas;
+    quotas.max_escrowed_keys = count;
+    quotas.durable_dir = dir;
+    quotas.durable_sync_policy = policy;
+    auto tenant = TenantContext::Open("bench-durability", quotas);
+    if (!tenant.ok()) {
+      gate.Check("open durable tenant (" + point.policy + ")", false);
+      return point;
+    }
+    Stopwatch wall;
+    size_t acked = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (tenant.value()->Escrow(BuyerFor(i), KeyFor(i)).ok()) ++acked;
+    }
+    point.elapsed_s = wall.ElapsedSeconds();
+    point.ops_per_s = point.elapsed_s > 0
+                          ? static_cast<double>(acked) / point.elapsed_s
+                          : 0;
+    gate.Check("escrow (" + point.policy + "): every registration acked",
+               acked == count);
+  }
+
+  auto recovered = DurableRegistry::Open(dir);
+  bool identical = recovered.ok() && recovered.value()->size() == count;
+  if (identical) {
+    const FingerprintRegistry snapshot = recovered.value()->Snapshot();
+    std::unordered_map<std::string, SchemeKey> by_buyer;
+    by_buyer.reserve(snapshot.size());
+    for (const FingerprintRecord& record : snapshot.records()) {
+      by_buyer.emplace(record.buyer_id, record.key);
+    }
+    for (size_t i = 0; i < count && identical; ++i) {
+      auto it = by_buyer.find(BuyerFor(i));
+      identical = it != by_buyer.end() && it->second == KeyFor(i);
+    }
+  }
+  point.recovered_identical = gate.Check(
+      "escrow (" + point.policy + "): recovery reproduces the acked set",
+      identical);
+  RemoveScratch(dir);
+  return point;
+}
+
+struct RecoveryPoint {
+  size_t keys = 0;
+  double wal_replay_s = 0;
+  double snapshot_load_s = 0;
+  bool identical = false;
+};
+
+/// Recovery time at `count` keys: Open from a WAL that was never
+/// checkpointed (pure replay), then checkpoint and Open again (pure
+/// snapshot load, empty log).
+RecoveryPoint RunRecoveryAtScale(size_t count, bench::IdentityGate& gate) {
+  RecoveryPoint point;
+  point.keys = count;
+  const std::string dir =
+      ScratchDir("recovery_" + std::to_string(count));
+
+  DurableRegistryOptions options;
+  options.wal.sync_policy = WalSyncPolicy::kNone;  // populate fast
+  // No auto-checkpoint: keep the whole population in the WAL so the
+  // first reopen measures replay, not snapshot load.
+  options.checkpoint_threshold_bytes = ~uint64_t{0};
+  {
+    auto populated = DurableRegistry::Open(dir, options);
+    if (!populated.ok()) {
+      gate.Check("populate @ " + std::to_string(count) + " keys", false);
+      return point;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      (void)populated.value()->Register(BuyerFor(i), KeyFor(i));
+    }
+  }
+
+  bool replay_ok = false;
+  {
+    Stopwatch wall;
+    auto reopened = DurableRegistry::Open(dir, options);
+    point.wal_replay_s = wall.ElapsedSeconds();
+    replay_ok = reopened.ok() && reopened.value()->size() == count &&
+                reopened.value()->open_stats().records_replayed == count &&
+                !reopened.value()->open_stats().snapshot_loaded;
+    gate.Check("WAL replay @ " + std::to_string(count) +
+                   " keys: exact acked set, counters account for all",
+               replay_ok);
+    if (reopened.ok()) (void)reopened.value()->Checkpoint();
+  }
+
+  bool snapshot_ok = false;
+  {
+    Stopwatch wall;
+    auto reopened = DurableRegistry::Open(dir, options);
+    point.snapshot_load_s = wall.ElapsedSeconds();
+    snapshot_ok = reopened.ok() && reopened.value()->size() == count &&
+                  reopened.value()->open_stats().snapshot_loaded &&
+                  reopened.value()->open_stats().records_replayed == 0;
+    gate.Check("snapshot load @ " + std::to_string(count) +
+                   " keys: exact acked set, empty log",
+               snapshot_ok);
+  }
+  point.identical = replay_ok && snapshot_ok;
+  RemoveScratch(dir);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "bench_durability: WAL fsync policies and recovery at scale",
+      "DESIGN.md SS15 (ISSUE 10) - durable registry");
+
+  bench::IdentityGate gate;
+
+  // fsync=every pays one fsync per ack; keep its count small enough
+  // that the bench stays interactive on laptop-class disks.
+  const size_t every_count = bench::PerfSmoke() ? 200 : 2000;
+  const size_t buffered_count = bench::PerfSmoke() ? 2000 : 20000;
+
+  std::printf("\n-- escrow throughput per fsync policy --\n");
+  std::vector<ThroughputPoint> throughput;
+  throughput.push_back(
+      RunEscrowThroughput(WalSyncPolicy::kEveryRecord, every_count, gate));
+  throughput.push_back(
+      RunEscrowThroughput(WalSyncPolicy::kGroupCommit, buffered_count, gate));
+  throughput.push_back(
+      RunEscrowThroughput(WalSyncPolicy::kNone, buffered_count, gate));
+  for (const ThroughputPoint& p : throughput) {
+    std::printf("fsync=%-5s  %7zu escrows in %8.3f s  ->  %10.0f ops/s\n",
+                p.policy.c_str(), p.registrations, p.elapsed_s, p.ops_per_s);
+  }
+
+  std::printf("\n-- recovery time at scale --\n");
+  std::vector<size_t> scales{10'000, 100'000};
+  if (!bench::PerfSmoke()) scales.push_back(1'000'000);
+  std::vector<RecoveryPoint> recovery;
+  for (size_t count : scales) {
+    RecoveryPoint point = RunRecoveryAtScale(count, gate);
+    recovery.push_back(point);
+    std::printf(
+        "%8zu keys   WAL replay %8.3f s   snapshot load %8.3f s\n",
+        point.keys, point.wal_replay_s, point.snapshot_load_s);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"durability\",\n  \"escrow_throughput\": [\n";
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputPoint& p = throughput[i];
+    json << "    {\"fsync\": \"" << p.policy
+         << "\", \"registrations\": " << p.registrations
+         << ", \"elapsed_s\": " << p.elapsed_s
+         << ", \"ops_per_s\": " << p.ops_per_s << ", \"recovered\": "
+         << (p.recovered_identical ? "true" : "false") << "}"
+         << (i + 1 < throughput.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"recovery\": [\n";
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryPoint& p = recovery[i];
+    json << "    {\"keys\": " << p.keys
+         << ", \"wal_replay_s\": " << p.wal_replay_s
+         << ", \"snapshot_load_s\": " << p.snapshot_load_s << "}"
+         << (i + 1 < recovery.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"identity_checks\": " << gate.checks()
+       << ",\n  \"all_identical\": "
+       << (gate.all_identical() ? "true" : "false") << "\n}\n";
+  bench::WriteJsonFile(bench::JsonOutputPath("BENCH_durability.json"),
+                       json.str());
+
+  return gate.Finish();
+}

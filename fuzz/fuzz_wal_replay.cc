@@ -1,0 +1,105 @@
+/// Fuzz harness for WAL open/replay (ISSUE 10, DESIGN.md §15): arbitrary
+/// bytes presented as a write-ahead-log image may only ever
+///  * parse to a valid prefix with the tail classified torn (what a
+///    crash mid-append legitimately leaves), or
+///  * be rejected with typed `Corruption` (bad magic, or a damaged frame
+///    that intact frames follow),
+/// and the scanner must NEVER crash, over-allocate from hostile length
+/// fields, or parse past a bad checksum.
+///
+/// Properties checked on every input:
+///  * `Scan` returns; any records it yields re-encode (magic + frames)
+///    to exactly the valid prefix it claimed — the scanner neither
+///    invents, reorders, nor reinterprets bytes;
+///  * `valid_bytes` never exceeds the input and `torn_tail` is set iff
+///    `valid_bytes < size` (for inputs long enough to carry the magic);
+///  * a scan of the valid prefix alone is clean (truncate-at-tail is a
+///    fixed point — recovery after recovery changes nothing);
+///  * record payloads that `DecodeRegistration` accepts survive an
+///    encode/decode round trip (replay applies exactly what was logged).
+///
+/// Corpus seeds cover a well-formed multi-record log, torn tails at
+/// several cut points, a bit-flipped final frame (truncates) and a
+/// bit-flipped interior frame (Corruption).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "analysis/durable_registry.h"
+#include "analysis/wal.h"
+#include "common/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  freqywm::Result<freqywm::WalScanResult> scan =
+      freqywm::WriteAheadLog::Scan(bytes);
+  if (!scan.ok()) {
+    if (scan.status().code() != freqywm::StatusCode::kCorruption) {
+      std::fprintf(stderr, "non-Corruption rejection: %s\n",
+                   scan.status().ToString().c_str());
+      std::abort();
+    }
+    return 0;  // typed rejection is always fine
+  }
+
+  const freqywm::WalScanResult& result = scan.value();
+  if (result.valid_bytes > size) {
+    std::fprintf(stderr, "valid_bytes %zu > input %zu\n", result.valid_bytes,
+                 size);
+    std::abort();
+  }
+  if (result.torn_tail != (result.valid_bytes < size)) {
+    std::fprintf(stderr, "torn_tail flag disagrees with valid_bytes\n");
+    std::abort();
+  }
+
+  // Re-encoding the accepted records must reproduce the valid prefix
+  // byte for byte — the frames the scanner accepted are exactly the
+  // frames on disk, nothing skipped, nothing reinterpreted.
+  std::string reencoded;
+  if (result.valid_bytes > 0) {
+    reencoded.assign(freqywm::kWalMagic, freqywm::kWalMagicLen);
+  }
+  for (const std::string& payload : result.records) {
+    reencoded += freqywm::WriteAheadLog::EncodeFrame(payload);
+  }
+  if (reencoded != bytes.substr(0, result.valid_bytes)) {
+    std::fprintf(stderr, "re-encoded prefix differs from input prefix\n");
+    std::abort();
+  }
+
+  // Truncate-at-tail is a fixed point: scanning the valid prefix alone
+  // is clean and yields the same records.
+  freqywm::Result<freqywm::WalScanResult> again =
+      freqywm::WriteAheadLog::Scan(bytes.substr(0, result.valid_bytes));
+  if (!again.ok() || again.value().torn_tail ||
+      again.value().records != result.records) {
+    std::fprintf(stderr, "recovery is not a fixed point\n");
+    std::abort();
+  }
+
+  // Replay layer: payloads either decode (and round-trip) or reject
+  // typed Corruption — never crash, never half-apply.
+  for (const std::string& payload : result.records) {
+    freqywm::Result<freqywm::FingerprintRecord> decoded =
+        freqywm::DecodeRegistration(payload);
+    if (!decoded.ok()) {
+      if (decoded.status().code() != freqywm::StatusCode::kCorruption) {
+        std::fprintf(stderr, "non-Corruption decode rejection: %s\n",
+                     decoded.status().ToString().c_str());
+        std::abort();
+      }
+      continue;
+    }
+    const std::string reencoded_record = freqywm::EncodeRegistration(
+        decoded.value().buyer_id, decoded.value().key);
+    if (reencoded_record != payload) {
+      std::fprintf(stderr, "registration decode/encode is not identity\n");
+      std::abort();
+    }
+  }
+  return 0;
+}

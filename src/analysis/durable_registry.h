@@ -1,0 +1,158 @@
+#ifndef FREQYWM_ANALYSIS_DURABLE_REGISTRY_H_
+#define FREQYWM_ANALYSIS_DURABLE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/registry.h"
+#include "analysis/wal.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "exec/health.h"
+
+namespace freqywm {
+
+struct DurableRegistryOptions {
+  /// WAL flush policy (DESIGN.md §15). The crash-recovery invariant —
+  /// reopening after a crash yields every acknowledged registration —
+  /// holds under the default `kEveryRecord`; the other policies trade a
+  /// bounded acked-record window for throughput (`bench_durability`
+  /// measures the curve).
+  WalOptions wal;
+
+  /// Auto-checkpoint trigger: when a `Register` pushes the WAL past this
+  /// many bytes, the registry publishes a snapshot (atomic `SaveToFile`)
+  /// and rotates the WAL. 0 disables auto-checkpointing (explicit
+  /// `Checkpoint()` only).
+  uint64_t checkpoint_threshold_bytes = 4 << 20;
+};
+
+/// `FingerprintRegistry` with crash durability (DESIGN.md §15): every
+/// `Register` appends a checksummed WAL record BEFORE it is applied in
+/// memory and acknowledged, so an acknowledged registration survives a
+/// kill at any instant (under fsync=every). Recovery (`Open`) loads the
+/// last published snapshot, then replays the WAL idempotently — records
+/// already covered by the snapshot are skipped via the registry's O(1)
+/// buyer-id index, which is what makes the crash window between
+/// checkpoint-publish and WAL-rotate benign.
+///
+/// On-disk layout under `dir`:
+///   dir/registry.snapshot   — checksummed snapshot (`SaveToFile` format)
+///   dir/registry.wal        — the write-ahead log
+///
+/// Failure semantics of `Register`: any non-OK return means NOT
+/// acknowledged. After a failed WAL sync the record's bytes may or may
+/// not have reached the disk — recovery may therefore surface an
+/// *unacked* trailing record, never lose an acked one; callers that
+/// retry the same buyer id after a failure should treat a subsequent
+/// "already registered" as success-after-recovery.
+///
+/// Thread-safe; one internal mutex covers WAL, registry and gauges (the
+/// WAL itself is unsynchronized by design — this class is its only
+/// caller, so the lock order stays trivially acyclic).
+class DurableRegistry {
+ public:
+  /// What recovery observed, frozen at `Open` (also surfaced through
+  /// `gauges()` for health plumbing).
+  struct OpenStats {
+    /// True when `dir/registry.snapshot` existed and was loaded.
+    bool snapshot_loaded = false;
+    /// WAL records applied on top of the snapshot.
+    uint64_t records_replayed = 0;
+    /// WAL records skipped because the snapshot already contained them
+    /// (the checkpoint-then-crash-before-rotate window).
+    uint64_t duplicates_skipped = 0;
+    /// True when the WAL ended in a torn frame that was truncated.
+    bool torn_tail_truncated = false;
+    uint64_t truncated_bytes = 0;
+  };
+
+  /// Opens (creating if needed) the durable registry rooted at `dir`.
+  /// The directory must already exist. Typed failures: `Corruption` when
+  /// the snapshot or the WAL body is damaged (never silently repaired —
+  /// except the torn WAL *tail*, which is the expected crash artifact
+  /// and is truncated), `Unavailable` for I/O errors.
+  [[nodiscard]] static Result<std::unique_ptr<DurableRegistry>> Open(
+      const std::string& dir, DurableRegistryOptions options = {});
+
+  /// WAL-append (+ policy sync), then in-memory `Register`, then — if
+  /// the log crossed `checkpoint_threshold_bytes` — an auto-checkpoint
+  /// whose failure does NOT fail this call (the record is already
+  /// durable; the failure lands in `gauges().checkpoint_failures` and
+  /// the checkpoint retries at the next crossing). Validation failures
+  /// (`InvalidArgument`, duplicate ids included) are rejected before any
+  /// byte is logged.
+  [[nodiscard]] Status Register(const std::string& buyer_id, SchemeKey key);
+
+  /// Publishes a snapshot of the current registry (atomic `SaveToFile`)
+  /// and, once the snapshot is durably in place, rotates the WAL. A
+  /// crash between the two replays the stale WAL records onto the new
+  /// snapshot idempotently.
+  [[nodiscard]] Status Checkpoint();
+
+  /// Forces unsynced WAL records to stable storage (meaningful under
+  /// `kGroupCommit` / `kNone`).
+  [[nodiscard]] Status Sync();
+
+  /// Copy of the in-memory registry, for tracing/session key snapshots
+  /// (the same copy-under-lock idiom `TenantContext::TraceSuspects`
+  /// already uses).
+  FingerprintRegistry Snapshot() const;
+
+  size_t size() const;
+  bool Contains(const std::string& buyer_id) const;
+
+  /// Point-in-time WAL/checkpoint gauges (`durable` always true here).
+  DurabilityGauges gauges() const;
+
+  const OpenStats& open_stats() const { return open_stats_; }
+  const std::string& dir() const { return dir_; }
+
+  /// On-disk file names under `dir` (shared with tests and the bench).
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+  DurableRegistry(const DurableRegistry&) = delete;
+  DurableRegistry& operator=(const DurableRegistry&) = delete;
+
+ private:
+  DurableRegistry(std::string dir, DurableRegistryOptions options,
+                  FingerprintRegistry registry,
+                  std::unique_ptr<WriteAheadLog> wal, OpenStats open_stats);
+
+  /// The checkpoint body, factored so `Register`'s auto-checkpoint and
+  /// the public `Checkpoint` share one publish-then-rotate sequence.
+  [[nodiscard]] Status CheckpointLocked() REQUIRES(mu_);
+
+  const std::string dir_;
+  const DurableRegistryOptions options_;
+  const OpenStats open_stats_;
+
+  mutable Mutex mu_;
+  FingerprintRegistry registry_ GUARDED_BY(mu_);
+  std::unique_ptr<WriteAheadLog> wal_ GUARDED_BY(mu_);
+  /// Clock-free checkpoint age (DurabilityGauges contract).
+  uint64_t records_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  uint64_t checkpoints_published_ GUARDED_BY(mu_) = 0;
+  uint64_t checkpoint_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t parent_dir_fsync_warnings_ GUARDED_BY(mu_) = 0;
+};
+
+/// Serializes one registration for the WAL (`buyer_id` line, `scheme`
+/// line, raw payload bytes) — exposed for the replay fuzzer and tests.
+std::string EncodeRegistration(const std::string& buyer_id,
+                               const SchemeKey& key);
+
+/// Parses `EncodeRegistration` output; `Corruption` on malformed bytes
+/// (a checksummed WAL record should never fail this — if it does, the
+/// record was written by something else and must not be applied).
+[[nodiscard]] Result<FingerprintRecord> DecodeRegistration(
+    std::string_view payload);
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_ANALYSIS_DURABLE_REGISTRY_H_

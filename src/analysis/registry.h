@@ -91,6 +91,13 @@ class FingerprintRegistry {
   size_t size() const { return records_.size(); }
   const std::vector<FingerprintRecord>& records() const { return records_; }
 
+  /// O(1) membership test on the buyer-id index — what makes WAL replay
+  /// idempotent (`DurableRegistry` skips already-snapshotted records by
+  /// id instead of re-registering and failing).
+  bool Contains(const std::string& buyer_id) const {
+    return buyer_ids_.count(buyer_id) > 0;
+  }
+
   /// Runs detection with `options` for every escrowed key against
   /// `suspect` — each record through its scheme's `Detect` — and returns
   /// the accepted matches, strongest first (by verified fraction, ties by
@@ -144,12 +151,25 @@ class FingerprintRegistry {
   [[nodiscard]] static Result<FingerprintRegistry> ParseSnapshot(
       const std::string& text);
 
+  /// Non-fatal observations from a successful `SaveToFile` — durability
+  /// weaker than requested, but the snapshot itself is intact.
+  struct SaveReport {
+    /// Times the parent-directory fsync (which makes the final rename
+    /// itself durable) failed or was unsupported. The data file is still
+    /// synced; on such filesystems a crash immediately after save may
+    /// surface the previous snapshot instead of this one.
+    uint64_t parent_dir_fsync_warnings = 0;
+  };
+
   /// Atomically persists the snapshot to `path` (DESIGN.md §13): writes
   /// `path + ".tmp"`, fsyncs it, then renames over `path` — a reader (or
   /// a crash) at any instant sees either the previous complete snapshot
   /// or the new one, never a torn file. I/O failures are `Unavailable`
   /// (transient, retryable); the temp file is cleaned up on failure.
-  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  /// A non-null `report` receives warning counts (see `SaveReport`) that
+  /// do not fail the save.
+  [[nodiscard]] Status SaveToFile(const std::string& path,
+                                  SaveReport* report = nullptr) const;
 
   /// `SaveToFile` with bounded retry for transient failures: attempts
   /// are governed by `retry` (exec/retry.h — injectable sleep, so tests

@@ -1,9 +1,10 @@
 // Crash-safe persistence of the fingerprint registry (DESIGN.md §13).
 //
 // Split out of registry.cc so the in-memory data structure stays free of
-// platform I/O: this file owns the only open/write/fsync/rename calls in
-// the library, plus the checksum-footer snapshot format that makes
-// on-disk damage a typed `Corruption` instead of a parse surprise.
+// platform I/O: snapshot open/write/fsync/rename lives here (the WAL's
+// append-side I/O lives in analysis/wal.cc), plus the checksum-footer
+// snapshot format that makes on-disk damage a typed `Corruption` instead
+// of a parse surprise.
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -50,21 +51,25 @@ Status WriteAll(int fd, const std::string& data, const std::string& path) {
   return Status::OK();
 }
 
-/// Best-effort fsync of the directory containing `path`, so the rename
-/// itself is durable. Failure is ignored: the data file is already
-/// synced, and not every filesystem supports directory fsync.
-void SyncParentDir(const std::string& path) {
+/// Fsync of the directory containing `path`, so the rename itself is
+/// durable. Failure does not fail the save (the data file is already
+/// synced, and not every filesystem supports directory fsync) but is no
+/// longer silent: the caller counts a `SaveReport` warning.
+bool SyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash + 1);
+  if (!FREQYWM_FAULT_STATUS("registry_io/fsync_dir").ok()) return false;
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  (void)::fsync(fd);  // best-effort by design
+  if (fd < 0) return false;
+  const bool synced = ::fsync(fd) == 0;
   (void)::close(fd);
+  return synced;
 }
 
-Status SaveSnapshotTo(const std::string& snapshot, const std::string& path) {
+Status SaveSnapshotTo(const std::string& snapshot, const std::string& path,
+                      FingerprintRegistry::SaveReport* report) {
   const std::string temp = path + ".tmp";
 
   FREQYWM_FAULT_POINT("registry_io/open_temp");
@@ -97,7 +102,9 @@ Status SaveSnapshotTo(const std::string& snapshot, const std::string& path) {
     (void)::unlink(temp.c_str());  // best-effort cleanup of the temp file
     return status;
   }
-  SyncParentDir(path);
+  if (!SyncParentDir(path) && report != nullptr) {
+    ++report->parent_dir_fsync_warnings;
+  }
   return Status::OK();
 }
 
@@ -146,8 +153,9 @@ Result<FingerprintRegistry> FingerprintRegistry::ParseSnapshot(
   return Deserialize(std::string(payload));
 }
 
-Status FingerprintRegistry::SaveToFile(const std::string& path) const {
-  return SaveSnapshotTo(SerializeSnapshot(), path);
+Status FingerprintRegistry::SaveToFile(const std::string& path,
+                                       SaveReport* report) const {
+  return SaveSnapshotTo(SerializeSnapshot(), path, report);
 }
 
 Status FingerprintRegistry::SaveToFile(
@@ -155,8 +163,9 @@ Status FingerprintRegistry::SaveToFile(
     const InterruptContext& interrupt) const {
   // Serialize once; only the I/O retries.
   const std::string snapshot = SerializeSnapshot();
-  return RetryWithBackoff(retry, interrupt,
-                          [&] { return SaveSnapshotTo(snapshot, path); });
+  return RetryWithBackoff(retry, interrupt, [&] {
+    return SaveSnapshotTo(snapshot, path, nullptr);
+  });
 }
 
 Result<FingerprintRegistry> FingerprintRegistry::LoadFromFile(

@@ -112,17 +112,45 @@ TenantContext::TenantContext(std::string tenant_id, TenantQuotas quotas)
           quotas_.max_cache_entries > 0 ? quotas_.max_cache_entries
                                         : PreparedKeyCache::kDefaultCapacity)),
       breaker_(MakeBreaker(quotas_)),
-      admission_(MakeAdmission(quotas_)) {}
+      admission_(MakeAdmission(quotas_)) {
+  if (!quotas_.durable_dir.empty()) {
+    DurableRegistryOptions options;
+    options.wal.sync_policy = quotas_.durable_sync_policy;
+    options.checkpoint_threshold_bytes =
+        quotas_.durable_checkpoint_threshold_bytes;
+    Result<std::unique_ptr<DurableRegistry>> opened =
+        DurableRegistry::Open(quotas_.durable_dir, options);
+    if (opened.ok()) {
+      durable_ = std::move(opened).value();
+    } else {
+      // A constructor cannot fail; the recovery error is held and
+      // returned by every Escrow (prefer `Open`, which surfaces it
+      // immediately).
+      durable_open_error_ = opened.status();
+    }
+  }
+}
+
+Result<std::unique_ptr<TenantContext>> TenantContext::Open(
+    std::string tenant_id, TenantQuotas quotas) {
+  auto tenant = std::make_unique<TenantContext>(std::move(tenant_id),
+                                                std::move(quotas));
+  FREQYWM_RETURN_NOT_OK(tenant->durable_open_error_);
+  return tenant;
+}
 
 Status TenantContext::Escrow(const std::string& buyer_id, SchemeKey key) {
   FREQYWM_FAULT_POINT("tenant/quota");
+  FREQYWM_RETURN_NOT_OK(durable_open_error_);
   MutexLock lock(mu_);
+  const size_t escrowed = durable_ ? durable_->size() : registry_.size();
   if (quotas_.max_escrowed_keys > 0 &&
-      registry_.size() >= quotas_.max_escrowed_keys) {
+      escrowed >= quotas_.max_escrowed_keys) {
     return Status::ResourceExhausted(
         "tenant '" + tenant_id_ + "' key-escrow quota reached (" +
         std::to_string(quotas_.max_escrowed_keys) + " keys)");
   }
+  if (durable_) return durable_->Register(buyer_id, std::move(key));
   return registry_.Register(buyer_id, std::move(key));
 }
 
@@ -139,8 +167,19 @@ Result<std::unique_ptr<TenantSession>> TenantContext::OpenSession(
           " concurrent sessions)");
     }
     ++open_sessions_;  // slot claimed; construction below cannot fail
-    keys.reserve(registry_.size());
-    for (const FingerprintRecord& record : registry_.records()) {
+    if (!durable_) {
+      keys.reserve(registry_.size());
+      for (const FingerprintRecord& record : registry_.records()) {
+        keys.push_back(record.key);
+      }
+    }
+  }
+  if (durable_) {
+    // Outside `mu_`: the durable registry is internally synchronized,
+    // and the session-keys contract is bind-at-open-time either way.
+    const FingerprintRegistry snapshot = durable_->Snapshot();
+    keys.reserve(snapshot.size());
+    for (const FingerprintRecord& record : snapshot.records()) {
       keys.push_back(record.key);
     }
   }
@@ -159,13 +198,15 @@ Result<std::unique_ptr<TenantSession>> TenantContext::OpenSession(
   return session;
 }
 
+FingerprintRegistry TenantContext::RegistrySnapshot() const {
+  if (durable_) return durable_->Snapshot();
+  MutexLock lock(mu_);
+  return registry_;
+}
+
 std::vector<std::vector<TraceMatch>> TenantContext::TraceSuspects(
     const std::vector<Histogram>& suspects, size_t num_threads) const {
-  FingerprintRegistry snapshot;
-  {
-    MutexLock lock(mu_);
-    snapshot = registry_;
-  }
+  const FingerprintRegistry snapshot = RegistrySnapshot();
   TraceOptions options;
   options.num_threads = num_threads;
   options.key_cache = key_cache_;
@@ -177,6 +218,7 @@ EngineHealthSnapshot TenantContext::Health() const {
   snapshot.admission = admission_->stats();
   snapshot.key_cache = key_cache_->stats();
   if (breaker_ != nullptr) snapshot.breaker = breaker_->stats();
+  if (durable_) snapshot.durability = durable_->gauges();
   MutexLock lock(mu_);
   snapshot.open_sessions = open_sessions_;
   for (const TenantSession* session : live_sessions_) {
@@ -186,6 +228,7 @@ EngineHealthSnapshot TenantContext::Health() const {
 }
 
 size_t TenantContext::escrowed_keys() const {
+  if (durable_) return durable_->size();
   MutexLock lock(mu_);
   return registry_.size();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/durable_registry.h"
 #include "analysis/registry.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -66,6 +67,20 @@ struct TenantQuotas {
   /// circuit breaker — the testing seam (see `AdmissionOptions::
   /// clock_nanos`). Null → the real monotonic clock.
   std::function<int64_t()> clock_nanos;
+
+  /// Opt-in durability (DESIGN.md §15): when non-empty, the tenant's
+  /// escrow registry is a `DurableRegistry` rooted at this existing
+  /// directory — every acknowledged `Escrow` is WAL-logged before the
+  /// caller hears OK, and a reopened tenant recovers snapshot + replay.
+  /// Empty (the default) keeps the pre-durability in-memory registry.
+  /// Construct durable tenants through `TenantContext::Open` so a
+  /// failed recovery surfaces at open time instead of on first escrow.
+  std::string durable_dir;
+
+  /// WAL flush policy and auto-checkpoint threshold of the durable
+  /// registry; ignored when `durable_dir` is empty.
+  WalSyncPolicy durable_sync_policy = WalSyncPolicy::kEveryRecord;
+  uint64_t durable_checkpoint_threshold_bytes = 4 << 20;
 };
 
 class TenantContext;
@@ -160,13 +175,25 @@ class TenantContext {
  public:
   explicit TenantContext(std::string tenant_id, TenantQuotas quotas = {});
 
+  /// Factory for durable tenants: constructs the context AND surfaces a
+  /// failed durable-registry recovery (damaged snapshot/WAL, unreadable
+  /// directory) as this call's error instead of deferring it to the
+  /// first `Escrow`. Works for in-memory tenants too (never fails
+  /// there), so callers can use one construction path throughout.
+  [[nodiscard]] static Result<std::unique_ptr<TenantContext>> Open(
+      std::string tenant_id, TenantQuotas quotas = {});
+
   TenantContext(const TenantContext&) = delete;
   TenantContext& operator=(const TenantContext&) = delete;
 
   /// Escrows one buyer fingerprint into the tenant's registry. Typed
   /// failures: `kResourceExhausted` when `max_escrowed_keys` is reached
   /// (the quota fault site `tenant/quota` injects here), plus whatever
-  /// `FingerprintRegistry::Register` rejects.
+  /// `FingerprintRegistry::Register` rejects. Durable tenants
+  /// additionally WAL-log the record before acknowledging — a non-OK
+  /// return means NOT escrowed (see `DurableRegistry::Register` for the
+  /// failed-fsync window) — and report the recovery error here when the
+  /// context was constructed directly despite a broken `durable_dir`.
   [[nodiscard]] Status Escrow(const std::string& buyer_id, SchemeKey key);
 
   /// Opens a detection session over every key escrowed so far, fronted
@@ -199,14 +226,30 @@ class TenantContext {
   }
   AdmissionController& admission() { return *admission_; }
 
+  /// The tenant's durable registry, or null for in-memory tenants —
+  /// for recovery stats (`open_stats`), explicit `Checkpoint`/`Sync`,
+  /// and tests. Internally synchronized.
+  DurableRegistry* durable_registry() const { return durable_.get(); }
+
  private:
   friend class TenantSession;
+
+  /// Snapshot of the registry for reads (trace, session keys) — the
+  /// durable registry when present, else a copy of `registry_`.
+  FingerprintRegistry RegistrySnapshot() const;
 
   const std::string tenant_id_;
   const TenantQuotas quotas_;
   const std::shared_ptr<PreparedKeyCache> key_cache_;
   const std::shared_ptr<KeyCircuitBreaker> breaker_;
   const std::unique_ptr<AdmissionController> admission_;
+  /// Set in the constructor body, immutable after; internally
+  /// synchronized, so calls on it never need `mu_` (lock order stays
+  /// `mu_` → DurableRegistry's mutex on the escrow path, acyclic).
+  std::unique_ptr<DurableRegistry> durable_;
+  /// Why `durable_` is null despite a non-empty `durable_dir` (direct
+  /// construction only — `Open` surfaces this instead). OK otherwise.
+  Status durable_open_error_;
 
   mutable Mutex mu_;
   FingerprintRegistry registry_ GUARDED_BY(mu_);

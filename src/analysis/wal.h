@@ -1,0 +1,158 @@
+#ifndef FREQYWM_ANALYSIS_WAL_H_
+#define FREQYWM_ANALYSIS_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace freqywm {
+
+/// When the write-ahead log flushes appended records to stable storage
+/// (DESIGN.md §15). The policy trades acknowledged-write durability
+/// against escrow throughput; `bench_durability` measures the curve.
+enum class WalSyncPolicy {
+  /// `fsync` after every `Append` — an acknowledged record is durable
+  /// before the caller hears OK. The crash-recovery invariant
+  /// ("recovery yields every acknowledged record") holds at this level.
+  kEveryRecord,
+  /// Group commit: records accumulate unsynced until the bounded window
+  /// (`group_commit_max_records` / `group_commit_max_bytes`) fills, then
+  /// one `fsync` covers the batch. A crash may lose at most one window
+  /// of acknowledged records.
+  kGroupCommit,
+  /// Never sync implicitly; only an explicit `Sync()` (or the OS cache
+  /// writeback) makes records durable. For bulk loads that checkpoint
+  /// at the end.
+  kNone,
+};
+
+struct WalOptions {
+  WalSyncPolicy sync_policy = WalSyncPolicy::kEveryRecord;
+
+  /// Bounds of the group-commit unsynced window (`kGroupCommit` only).
+  /// Crossing either bound forces a sync inside the crossing `Append`.
+  size_t group_commit_max_records = 64;
+  size_t group_commit_max_bytes = 1 << 20;
+};
+
+/// First bytes of every WAL file; a file that does not start with this
+/// (or a crash-torn prefix of it) is typed `Corruption` on open.
+inline constexpr char kWalMagic[] = "freqywm-wal v1\n";
+inline constexpr size_t kWalMagicLen = sizeof(kWalMagic) - 1;
+
+/// Outcome of scanning WAL bytes (the pure, file-free half of `Open`,
+/// exposed for recovery tests and `fuzz_wal_replay`).
+struct WalScanResult {
+  /// Payloads of every intact record, in append order.
+  std::vector<std::string> records;
+  /// Bytes of the valid prefix: magic + every intact frame. Anything
+  /// past this offset is a torn tail a crash left behind.
+  size_t valid_bytes = 0;
+  /// True when `valid_bytes` < input size — the tail was torn (an
+  /// incomplete frame, or a checksum-damaged final frame) and recovery
+  /// must truncate it.
+  bool torn_tail = false;
+};
+
+/// Append-only, length-framed, per-record-checksummed log (DESIGN.md
+/// §15) — the durability primitive under `DurableRegistry`. Byte format:
+///
+///   "freqywm-wal v1\n"                          (15-byte magic)
+///   repeated frames:
+///     u64 payload length, little-endian          (8 bytes)
+///     SHA-256 over (length bytes || payload)     (32 bytes)
+///     payload                                    (length bytes)
+///
+/// Every frame is independently verifiable, so `Open` detects a torn
+/// tail (the partial frame a crash mid-append leaves) and truncates the
+/// file back to the last intact record; damage *before* the tail — a
+/// bit flip inside a frame that intact frames follow — is typed
+/// `Corruption`, never silently skipped and never parsed past.
+///
+/// NOT thread-safe: callers serialize externally (`DurableRegistry`
+/// holds its mutex across every call — the log has no lock of its own
+/// so the lock order stays trivially acyclic).
+class WriteAheadLog {
+ public:
+  /// What `Open` recovered: the log positioned for appending, every
+  /// intact payload in append order (for replay), and whether a torn
+  /// tail was truncated.
+  struct OpenResult {
+    std::unique_ptr<WriteAheadLog> log;
+    std::vector<std::string> records;
+    bool torn_tail_truncated = false;
+    uint64_t truncated_bytes = 0;
+  };
+
+  /// Opens (creating if absent) the log at `path`: reads and verifies
+  /// every frame, truncates a torn tail back to the last intact record,
+  /// and positions the file for appending. Typed failures:
+  /// `Corruption` for damage before the tail (the file is left
+  /// untouched for forensics), `Unavailable` for I/O errors.
+  [[nodiscard]] static Result<OpenResult> Open(const std::string& path,
+                                               WalOptions options = {});
+
+  /// The pure scan behind `Open`: validates `bytes` as a WAL image and
+  /// returns the intact prefix. Never reads past a bad checksum; for
+  /// arbitrary bytes the outcome is a (possibly empty) valid prefix
+  /// with `torn_tail` set, or typed `Corruption` — never a crash
+  /// (fuzzed by `fuzz_wal_replay`).
+  [[nodiscard]] static Result<WalScanResult> Scan(std::string_view bytes);
+
+  /// One frame's exact bytes (header + checksum + payload) — exposed so
+  /// tests and the fuzz harness can build well-formed and deliberately
+  /// torn images without reimplementing the format.
+  static std::string EncodeFrame(std::string_view payload);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and applies the sync policy. On any failure
+  /// (injected `wal/append`, a short device, a failed policy sync) the
+  /// caller must treat the record as NOT acknowledged; after a failed
+  /// sync the bytes may or may not be durable — recovery handles both,
+  /// which is why replay is idempotent.
+  [[nodiscard]] Status Append(std::string_view payload);
+
+  /// Forces everything appended so far to stable storage (the
+  /// `wal/fsync` fault site). No-op when nothing is unsynced.
+  [[nodiscard]] Status Sync();
+
+  /// Truncates the log back to its magic header — called after a
+  /// checkpoint has durably published a snapshot covering every logged
+  /// record (the `wal/rotate` fault site). A crash between checkpoint
+  /// and rotation is benign: replaying the stale records is idempotent.
+  [[nodiscard]] Status Rotate();
+
+  /// Current file size in bytes (magic + intact frames + unsynced ones).
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// Records appended since the last sync (bounded by the group-commit
+  /// window under `kGroupCommit`).
+  uint64_t unsynced_records() const { return unsynced_records_; }
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  /// Records appended through this handle since `Open`.
+  uint64_t appended_records() const { return appended_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t size, WalOptions options);
+
+  const std::string path_;
+  const WalOptions options_;
+  int fd_;
+  uint64_t size_bytes_;
+  uint64_t unsynced_records_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace freqywm
+
+#endif  // FREQYWM_ANALYSIS_WAL_H_

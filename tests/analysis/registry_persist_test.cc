@@ -253,6 +253,29 @@ TEST_F(RegistryPersistFaultTest, RetryOverloadRidesOutTransientFault) {
   std::remove(path.c_str());
 }
 
+TEST_F(RegistryPersistFaultTest, ParentDirFsyncFailureIsCountedWarning) {
+  // ISSUE 10 satellite: the parent-directory fsync (which makes the
+  // rename itself durable) was silently best-effort. Its failure must
+  // not fail the save — the data file is synced and the snapshot is
+  // loadable — but it must surface as a counted SaveReport warning.
+  FingerprintRegistry registry = MakeRegistry();
+  std::string path = UniquePath("fsync_dir");
+
+  FaultInjector::Global().FailNextHits("registry_io/fsync_dir", 1);
+  FingerprintRegistry::SaveReport report;
+  ASSERT_TRUE(registry.SaveToFile(path, &report).ok());
+  EXPECT_EQ(report.parent_dir_fsync_warnings, 1u);
+  auto loaded = FingerprintRegistry::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().Serialize(), registry.Serialize());
+
+  // A clean save reports no warning (the counter is per-save, honest).
+  FingerprintRegistry::SaveReport clean_report;
+  ASSERT_TRUE(registry.SaveToFile(path, &clean_report).ok());
+  EXPECT_EQ(clean_report.parent_dir_fsync_warnings, 0u);
+  std::remove(path.c_str());
+}
+
 TEST_F(RegistryPersistFaultTest, InjectedReadFailureIsUnavailable) {
   FingerprintRegistry registry = MakeRegistry();
   std::string path = UniquePath("read_fault");
